@@ -1,0 +1,57 @@
+// Experiment F1 (Figure 1): realign + redistribute compiles to one direct
+// copy once the intermediate mapping is unused, instead of two remappings.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+using namespace bench_common;
+using hpfc::driver::OptLevel;
+
+namespace {
+
+void report() {
+  banner("F1 / Figure 1 — direct remapping",
+         "A changes alignment and distribution; the intermediate mapping is "
+         "dead, so one direct copy should replace the two-step remapping");
+  for (const int procs : {4, 16}) {
+    const hpfc::mapping::Extent n = 128;
+    for (const bool used : {true, false}) {
+      for (const OptLevel level : {OptLevel::O0, OptLevel::O2}) {
+        const auto compiled = compile(fig1(n, procs, used), level);
+        const auto run = run_checked(compiled);
+        row("P=" + std::to_string(procs) +
+                (used ? " used-between " : " dead-between ") +
+                hpfc::driver::to_string(level),
+            run);
+      }
+    }
+  }
+  note("dead-between at O2 performs 2 copies (A direct + B) vs 3 at O0: the "
+       "intermediate A copy disappears");
+}
+
+void BM_compile_fig1_O2(benchmark::State& state) {
+  for (auto _ : state) {
+    auto c = compile(fig1(64, 4, false), OptLevel::O2);
+    benchmark::DoNotOptimize(&c);
+  }
+}
+BENCHMARK(BM_compile_fig1_O2);
+
+void BM_run_fig1_direct(benchmark::State& state) {
+  const auto compiled = compile(fig1(64, 4, false), OptLevel::O2);
+  for (auto _ : state) {
+    auto r = hpfc::driver::run(compiled);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_run_fig1_direct);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Experiment F2 (Figure 2): a redistribution that restores the initial
+// mapping makes both remappings of the aligned array useless.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+using namespace bench_common;
+using hpfc::driver::OptLevel;
+
+namespace {
+
+void report() {
+  banner("F2 / Figure 2 — useless remappings",
+         "both C remappings are useless because the redistribution restores "
+         "its initial mapping: zero communication after optimization");
+  for (const int procs : {4, 16}) {
+    for (const hpfc::mapping::Extent n : {64, 256}) {
+      for (const OptLevel level : {OptLevel::O0, OptLevel::O1}) {
+        const auto compiled = compile(fig2(n, procs), level);
+        const auto run = run_checked(compiled);
+        row("P=" + std::to_string(procs) + " n=" + std::to_string(n) + " " +
+                hpfc::driver::to_string(level),
+            run);
+      }
+    }
+  }
+  note("O1 rows show 0 copies: the restore is recognized by placement "
+       "equality of the normalized two-level mappings");
+}
+
+void BM_optimize_fig2(benchmark::State& state) {
+  for (auto _ : state) {
+    auto c = compile(fig2(64, 4), OptLevel::O1);
+    benchmark::DoNotOptimize(&c);
+  }
+}
+BENCHMARK(BM_optimize_fig2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Experiment F18 (Figure 18): the reaching mapping is saved before a call
+// with an ambiguous argument state and restored (dispatched) afterwards.
+#include <benchmark/benchmark.h>
+
+#include "codegen/gen.hpp"
+#include "common.hpp"
+
+using namespace bench_common;
+using hpfc::driver::OptLevel;
+
+namespace {
+
+void report() {
+  banner("F18 / Figure 18 — mapping restored around a call",
+         "reaching(A) is saved; on return the saved status selects the "
+         "mapping to restore (two candidate leaving mappings)");
+  const auto naive = compile(fig18(4096, 4), OptLevel::O0);
+  std::printf("save slots=%d, save ops=%d, restore dispatches=%d\n",
+              naive.code.save_slots,
+              naive.code.count(hpfc::codegen::OpKind::SaveStatus),
+              naive.code.count(hpfc::codegen::OpKind::IfSavedEq));
+  for (unsigned seed = 1; seed <= 6; ++seed) {
+    const auto run = run_checked(naive, seed);
+    row("O0 seed=" + std::to_string(seed), run);
+  }
+  const auto opt = compile(fig18(4096, 4), OptLevel::O2);
+  std::printf("after O2: restore dispatches=%d (the unused restore is "
+              "removed entirely)\n",
+              opt.code.count(hpfc::codegen::OpKind::IfSavedEq));
+  for (unsigned seed = 1; seed <= 6; ++seed) {
+    const auto run = run_checked(opt, seed);
+    row("O2 seed=" + std::to_string(seed), run);
+  }
+  note("both paths and both levels agree with the oracle; O2 moves the "
+       "argument directly to the next required mapping");
+}
+
+void BM_restore_run(benchmark::State& state) {
+  const auto compiled = compile(fig18(1024, 4), OptLevel::O0);
+  unsigned seed = 0;
+  for (auto _ : state) {
+    hpfc::runtime::RunOptions options;
+    options.seed = ++seed;
+    auto r = hpfc::driver::run(compiled, options);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_restore_run);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared helpers for the per-figure benchmark harness: program factories
+// for the paper's examples (parameterized by problem size / machine size),
+// compile-and-run wrappers, and the paper-vs-measured row printer used by
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "driver/compiler.hpp"
+#include "hpf/builder.hpp"
+
+namespace bench_common {
+
+using hpfc::driver::Compiled;
+using hpfc::driver::OptLevel;
+using hpfc::runtime::RunReport;
+
+/// Compiles a built program at the given level; aborts on any diagnostic.
+Compiled compile(hpfc::hpf::ProgramBuilder& builder, OptLevel level);
+Compiled compile(hpfc::ir::Program program, OptLevel level);
+
+/// Runs on the simulated machine (auto rank count) with a fixed seed, and
+/// cross-checks the result signature against the sequential oracle.
+RunReport run_checked(const Compiled& compiled, unsigned seed = 7);
+
+/// Experiment banner / rows (stable text format consumed by EXPERIMENTS.md).
+void banner(const std::string& experiment, const std::string& paper_claim);
+void row(const std::string& label, const RunReport& report);
+void note(const std::string& text);
+
+// ---- program factories (paper figures at scalable sizes) ---------------
+
+/// Figure 1: realign + redistribute of A (direct-remapping motivation).
+hpfc::ir::Program fig1(hpfc::mapping::Extent n, int procs, bool use_between);
+/// Figure 2: restored mapping makes both C remappings useless.
+hpfc::ir::Program fig2(hpfc::mapping::Extent n, int procs);
+/// Figure 3: `arrays` aligned arrays, `used_after` of them used afterwards.
+hpfc::ir::Program fig3(hpfc::mapping::Extent n, int procs, int arrays,
+                       int used_after);
+/// Figure 4: foo;foo;bla call chain on Y.
+hpfc::ir::Program fig4(hpfc::mapping::Extent n, int procs);
+/// Figure 10: the ADI-like routine with `sweeps` loop iterations.
+hpfc::ir::Program fig10(hpfc::mapping::Extent n, int procs,
+                        hpfc::mapping::Extent sweeps);
+/// Figure 13: flow-dependent live copy.
+hpfc::ir::Program fig13(hpfc::mapping::Extent n, int procs);
+/// Figure 16: loop-invariant remappings over `trips` iterations.
+hpfc::ir::Program fig16(hpfc::mapping::Extent n, int procs,
+                        hpfc::mapping::Extent trips);
+/// Figure 18: ambiguous reaching mapping around a call.
+hpfc::ir::Program fig18(hpfc::mapping::Extent n, int procs);
+
+/// A synthetic routine with `remaps` remapping statements, `arrays`
+/// arrays and a CFG of roughly `cfg_nodes` nodes (Appendix B scaling).
+hpfc::ir::Program scaling_program(int arrays, int remaps, int filler_refs);
+
+}  // namespace bench_common

@@ -1,0 +1,96 @@
+// ADI (alternating direction implicit) sweeps: the paper's Figure 10
+// kernel. Each half-sweep wants a different distribution of the same
+// arrays — row-wise then column-wise — so the loop body remaps twice per
+// iteration. This example compares the naive translation (O0) with the
+// paper's optimizations (O1: useless remappings removed; O2: + live
+// copies and loop-invariant motion) on a simulated machine.
+//
+//   $ ./example_adi [n] [procs] [sweeps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "driver/compiler.hpp"
+#include "hpf/builder.hpp"
+
+using namespace hpfc;
+using mapping::DistFormat;
+using mapping::Extent;
+using mapping::Shape;
+
+namespace {
+
+ir::Program adi(Extent n, int procs, Extent sweeps) {
+  hpf::ProgramBuilder b("adi");
+  b.procs("P", Shape{procs});
+  b.dummy("U", Shape{n, n}, ir::Intent::InOut);  // the solution grid
+  b.distribute_array("U", {DistFormat::block(), DistFormat::collapsed()},
+                     "P");
+  b.array("RHS", Shape{n, n});
+  b.align_with_array("RHS", "U");
+
+  b.ref({"U"}, {"RHS"}, {}, "setup");
+  b.begin_loop(sweeps);
+  // Row sweep: rows must be local -> (block, *).
+  b.redistribute("U", {DistFormat::block(), DistFormat::collapsed()}, "",
+                 "rows");
+  b.ref({"U", "RHS"}, {"U"}, {}, "row_solve");
+  // Column sweep: columns must be local -> (*, block).
+  b.redistribute("U", {DistFormat::collapsed(), DistFormat::block()}, "",
+                 "cols");
+  b.ref({"U", "RHS"}, {"U"}, {}, "col_solve");
+  b.end_loop();
+
+  DiagnosticEngine diags;
+  return b.finish(diags);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Extent n = argc > 1 ? std::atoll(argv[1]) : 128;
+  const int procs = argc > 2 ? std::atoi(argv[2]) : 8;
+  const Extent sweeps = argc > 3 ? std::atoll(argv[3]) : 6;
+
+  std::printf("ADI %lldx%lld on %d ranks, %lld sweeps\n",
+              static_cast<long long>(n), static_cast<long long>(n), procs,
+              static_cast<long long>(sweeps));
+  std::printf("%-4s %10s %14s %12s %12s %14s\n", "opt", "copies",
+              "elements", "messages", "skips", "sim-time-ms");
+
+  std::uint64_t signature = 0;
+  bool first = true;
+  for (const auto level : {driver::OptLevel::O0, driver::OptLevel::O1,
+                           driver::OptLevel::O2}) {
+    DiagnosticEngine diags;
+    driver::CompileOptions options;
+    options.level = level;
+    const auto compiled = driver::compile(adi(n, procs, sweeps), options,
+                                          diags);
+    if (!compiled.ok) {
+      std::fprintf(stderr, "%s", diags.to_string().c_str());
+      return 1;
+    }
+    const auto report = driver::run(compiled);
+    const auto oracle = driver::run_oracle(compiled);
+    if (report.signature != oracle.signature ||
+        !report.exported_values_ok) {
+      std::fprintf(stderr, "result mismatch at %s!\n",
+                   driver::to_string(level));
+      return 1;
+    }
+    if (first) signature = report.signature;
+    first = false;
+    if (report.signature != signature) {
+      std::fprintf(stderr, "levels disagree!\n");
+      return 1;
+    }
+    std::printf("%-4s %10d %14llu %12llu %12d %14.3f\n",
+                driver::to_string(level), report.copies_performed,
+                static_cast<unsigned long long>(report.elements_copied),
+                static_cast<unsigned long long>(report.net.messages),
+                report.skipped_already_mapped + report.skipped_live_copy,
+                report.net.sim_time * 1e3);
+  }
+  std::printf("all levels agree with the sequential oracle.\n");
+  return 0;
+}

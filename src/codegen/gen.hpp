@@ -1,0 +1,38 @@
+// Copy code generation (paper §5.2, Figure 19): turns the optimized
+// remapping graph into guard/copy code attached to CFG nodes.
+//
+// Per remapping vertex v and array A with leaving copy L:
+//
+//   if status(A) != L:
+//     allocate A_L (if needed)
+//     if not live(A_L):
+//       if U_A(v) != D:                       # dead copies skip the data
+//         for a in R_A(v) \ {L}:              # flow-dependent source
+//           if status(A) == a: A_L = A_a      # the actual communication
+//       live(A_L) = true
+//     status(A) = L
+//   for a in C(A) - M_A(v): if live(A_a): free A_a; live(A_a) = false
+//
+// Around calls whose restore target is ambiguous, the reaching status is
+// saved before the call and dispatched on afterwards (Figure 18).
+#pragma once
+
+#include "codegen/runtime_ops.hpp"
+#include "remap/build.hpp"
+
+namespace hpfc::codegen {
+
+struct CodegenOptions {
+  /// Use the Appendix D maybe-live sets for cleanup; when false every copy
+  /// but the leaving one is freed at each vertex (the O0/O1 behaviour).
+  bool use_maybe_live = true;
+  /// Skip the data transfer for leaving copies labeled D (never-read).
+  /// The naive baseline disables this and always moves the data.
+  bool skip_dead_transfers = true;
+};
+
+RuntimeProgram generate(const ir::Program& program,
+                        const remap::Analysis& analysis,
+                        const CodegenOptions& options = {});
+
+}  // namespace hpfc::codegen

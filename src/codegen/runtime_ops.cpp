@@ -1,0 +1,101 @@
+#include "codegen/runtime_ops.hpp"
+
+#include <sstream>
+
+namespace hpfc::codegen {
+
+namespace {
+
+void print_ops(std::ostream& os, const ir::Program& program, const OpList& ops,
+               int depth) {
+  const std::string pad(static_cast<std::size_t>(depth * 2), ' ');
+  for (const Op& op : ops) {
+    const std::string name =
+        op.array >= 0 ? program.array(op.array).name : "?";
+    switch (op.kind) {
+      case OpKind::IfStatusNe:
+        os << pad << "if status(" << name << ") != " << op.version
+           << " then\n";
+        print_ops(os, program, op.body, depth + 1);
+        os << pad << "endif\n";
+        break;
+      case OpKind::IfStatusEq:
+        os << pad << "if status(" << name << ") == " << op.version
+           << " then\n";
+        print_ops(os, program, op.body, depth + 1);
+        os << pad << "endif\n";
+        break;
+      case OpKind::IfNotLive:
+        os << pad << "if not live(" << name << "_" << op.version
+           << ") then\n";
+        print_ops(os, program, op.body, depth + 1);
+        os << pad << "endif\n";
+        break;
+      case OpKind::IfLive:
+        os << pad << "if live(" << name << "_" << op.version << ") then\n";
+        print_ops(os, program, op.body, depth + 1);
+        os << pad << "endif\n";
+        break;
+      case OpKind::Allocate:
+        os << pad << "allocate " << name << "_" << op.version
+           << " if needed\n";
+        break;
+      case OpKind::Copy:
+        os << pad << name << "_" << op.version << " = " << name << "_"
+           << op.src_version << "   ! remapping communication\n";
+        break;
+      case OpKind::SetLive:
+        os << pad << "live(" << name << "_" << op.version << ") = "
+           << (op.flag ? "true" : "false") << "\n";
+        break;
+      case OpKind::SetStatus:
+        os << pad << "status(" << name << ") = " << op.version << "\n";
+        break;
+      case OpKind::Free:
+        os << pad << "free " << name << "_" << op.version << "\n";
+        break;
+      case OpKind::SaveStatus:
+        os << pad << "saved[" << op.slot << "] = status(" << name << ")\n";
+        break;
+      case OpKind::IfSavedEq:
+        os << pad << "if saved[" << op.slot << "] == " << op.version
+           << " then\n";
+        print_ops(os, program, op.body, depth + 1);
+        os << pad << "endif\n";
+        break;
+    }
+  }
+}
+
+int count_ops(const OpList& ops, OpKind kind) {
+  int total = 0;
+  for (const Op& op : ops) {
+    if (op.kind == kind) ++total;
+    total += count_ops(op.body, kind);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::string RuntimeProgram::to_text(const ir::Program& program) const {
+  std::ostringstream os;
+  os << "! entry initialization\n";
+  print_ops(os, program, at_entry, 0);
+  for (std::size_t n = 0; n < at_node.size(); ++n) {
+    if (at_node[n].empty()) continue;
+    os << "! at cfg node n" << n << "\n";
+    print_ops(os, program, at_node[n], 0);
+  }
+  os << "! exit cleanup\n";
+  print_ops(os, program, at_exit, 0);
+  return os.str();
+}
+
+int RuntimeProgram::count(OpKind kind) const {
+  int total = count_ops(at_entry, kind) + count_ops(at_exit, kind);
+  for (const auto& ops : at_node) total += count_ops(ops, kind);
+  return total;
+}
+
+}  // namespace hpfc::codegen

@@ -1,0 +1,81 @@
+#include "hpf/lexer.hpp"
+
+#include <cctype>
+
+namespace hpfc::hpf {
+
+std::vector<Token> lex(std::string_view source, DiagnosticEngine& diags) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  const auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < source.size(); ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    const SourceLoc loc{line, column};
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '!') {
+      while (i < source.size() && source[i] != '\n') advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      std::string text;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_' || source[i] == '$')) {
+        text.push_back(source[i]);
+        advance();
+      }
+      tokens.push_back({TokKind::Ident, std::move(text), 0, loc});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t value = 0;
+      std::string text;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        value = value * 10 + (source[i] - '0');
+        text.push_back(source[i]);
+        advance();
+      }
+      tokens.push_back({TokKind::Number, std::move(text), value, loc});
+      continue;
+    }
+    TokKind kind;
+    switch (c) {
+      case '(': kind = TokKind::LParen; break;
+      case ')': kind = TokKind::RParen; break;
+      case ',': kind = TokKind::Comma; break;
+      case '*': kind = TokKind::Star; break;
+      case '+': kind = TokKind::Plus; break;
+      case '-': kind = TokKind::Minus; break;
+      case ':': kind = TokKind::Colon; break;
+      default:
+        diags.error(DiagId::ParseError, loc,
+                    std::string("unexpected character '") + c + "'");
+        advance();
+        continue;
+    }
+    tokens.push_back({kind, std::string(1, c), 0, loc});
+    advance();
+  }
+  tokens.push_back({TokKind::End, "", 0, {line, column}});
+  return tokens;
+}
+
+}  // namespace hpfc::hpf

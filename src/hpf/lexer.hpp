@@ -1,0 +1,37 @@
+// Tokenizer for the HPF-lite surface language (see docs in parser.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace hpfc::hpf {
+
+enum class TokKind {
+  Ident,
+  Number,
+  LParen,
+  RParen,
+  Comma,
+  Star,
+  Plus,
+  Minus,
+  Colon,
+  End,
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  std::int64_t value = 0;  ///< for Number
+  SourceLoc loc;
+};
+
+/// Tokenizes `source`. '!' starts a comment running to end of line.
+/// Lexing errors are reported to `diags`.
+std::vector<Token> lex(std::string_view source, DiagnosticEngine& diags);
+
+}  // namespace hpfc::hpf

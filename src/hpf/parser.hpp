@@ -1,0 +1,39 @@
+// Parser for the HPF-lite surface language. One routine per source text:
+//
+//   routine adi
+//   processors P(4)
+//   template T(100,100)
+//   distribute T(block,*) onto P
+//   real A(100,100)
+//   dummy X(100,100) intent(inout)
+//   align A(i,j) with T(j,i)        ! affine targets: 2*i+1, constants, *
+//   distribute B(cyclic) onto P     ! direct distribution (implicit template)
+//   interface foo(X(100) intent(in) distribute(cyclic) onto P)
+//   begin
+//     use(A,B)                      ! reads
+//     def(A)                        ! maybe-writes
+//     full(A)                       ! full redefinition (effect D)
+//     ref read(A) write(B) define(C)
+//     realign A(i,j) with T(i,j)
+//     redistribute T(cyclic,*)      ! onto defaults to current arrangement
+//     if read(B) ... else ... endif
+//     loop 10 ... endloop           ! 'loop 10 nonzero' = at least one trip
+//     call foo(A)
+//     kill(A)
+//   end
+//
+// Comments run from '!' to end of line. Keywords are case-insensitive.
+#pragma once
+
+#include <string_view>
+
+#include "ir/program.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpfc::hpf {
+
+/// Parses `source`; reports problems to `diags`. On error the returned
+/// program may be partial — check diags.has_errors().
+ir::Program parse(std::string_view source, DiagnosticEngine& diags);
+
+}  // namespace hpfc::hpf

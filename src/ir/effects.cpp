@@ -1,0 +1,40 @@
+#include "ir/effects.hpp"
+
+#include <sstream>
+
+namespace hpfc::ir {
+
+EffectMap merge(const EffectMap& a, const EffectMap& b) {
+  EffectMap result = a;
+  for (const auto& [array, use] : b) {
+    auto [it, inserted] = result.try_emplace(array, use);
+    if (!inserted) it->second = it->second.merge(use);
+  }
+  return result;
+}
+
+EffectMap then(const EffectMap& first, const EffectMap& after) {
+  EffectMap result = after;
+  for (const auto& [array, use] : first) {
+    const auto it = result.find(array);
+    const Use tail = it == result.end() ? Use::none() : it->second;
+    result[array] = use.then(tail);
+  }
+  return result;
+}
+
+std::string to_string(const EffectMap& effects) {
+  std::ostringstream os;
+  os << "{";
+  bool sep = false;
+  for (const auto& [array, use] : effects) {
+    if (use.is_none()) continue;
+    if (sep) os << ", ";
+    sep = true;
+    os << "a" << array << ":" << use.letter();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace hpfc::ir

@@ -1,0 +1,69 @@
+// The paper's conservative use information: how an array copy "might be
+// used afterwards" — never referenced (N), fully redefined before any use
+// (D), only read (R), or maybe modified (W) (§3.1, Appendix A).
+//
+// The paper linearizes the qualifiers N < D < R < W. We implement the
+// underlying two-boolean lattice instead: (may_read, may_write) with
+// N=(0,0), D=(0,1), R=(1,0), W=(1,1); merging across paths is component-wise
+// OR and sequential composition follows first-use semantics. This is sound,
+// agrees with the paper on its examples, and is strictly more precise on
+// {D,R} path merges (documented in DESIGN.md).
+//
+// Meaning for the remapping machinery:
+//   may_read  = the incoming *values* are needed -> the copy must transfer
+//               data (N and D copies skip communication entirely).
+//   may_write = the new copy may be modified -> the other copies' values
+//               become stale (they must not be reused later).
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace hpfc::ir {
+
+struct Use {
+  bool may_read = false;
+  bool may_write = false;
+
+  static constexpr Use none() { return {false, false}; }      // N
+  static constexpr Use full_def() { return {false, true}; }   // D
+  static constexpr Use read() { return {true, false}; }       // R
+  static constexpr Use write() { return {true, true}; }       // W
+
+  [[nodiscard]] bool is_none() const { return !may_read && !may_write; }
+
+  /// The paper's letter for this qualifier.
+  [[nodiscard]] char letter() const {
+    if (may_read) return may_write ? 'W' : 'R';
+    return may_write ? 'D' : 'N';
+  }
+
+  /// Merge over distinct control paths (may-analysis union).
+  [[nodiscard]] Use merge(Use other) const {
+    return {may_read || other.may_read, may_write || other.may_write};
+  }
+
+  /// Sequential composition: `this` happens first, then `after`.
+  /// A full redefinition (D) screens everything behind it: later uses see
+  /// the new values, so the incoming values are still not needed.
+  [[nodiscard]] Use then(Use after) const {
+    if (may_write && !may_read) return full_def();
+    return {may_read || after.may_read, may_write || after.may_write};
+  }
+
+  friend bool operator==(const Use&, const Use&) = default;
+};
+
+/// Per-array effect summary at a program point. Arrays absent from the map
+/// have Use::none().
+using EffectMap = std::map<int, Use>;  // key: ArrayId
+
+/// Path-merge of two effect maps.
+EffectMap merge(const EffectMap& a, const EffectMap& b);
+
+/// Sequential composition: `first` happens, then `after`.
+EffectMap then(const EffectMap& first, const EffectMap& after);
+
+std::string to_string(const EffectMap& effects);
+
+}  // namespace hpfc::ir

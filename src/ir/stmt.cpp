@@ -1,0 +1,13 @@
+#include "ir/stmt.hpp"
+
+namespace hpfc::ir {
+
+StmtPtr make_stmt(StmtNode node, SourceLoc loc, std::string label) {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->node = std::move(node);
+  stmt->loc = loc;
+  stmt->label = std::move(label);
+  return stmt;
+}
+
+}  // namespace hpfc::ir

@@ -1,0 +1,125 @@
+// The HPF-lite structured AST. Computation is abstracted to its array
+// effects (which arrays a statement reads / writes / fully defines) — all
+// the remapping analyses need, per the paper. Mapping directives and calls
+// are first-class statements.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ir/symbols.hpp"
+#include "mapping/align.hpp"
+#include "mapping/dist.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpfc::ir {
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+/// A computation statement abstracted to its effects: `... A ...`.
+/// `defines` lists arrays fully redefined before any use (effect D).
+struct RefStmt {
+  std::vector<ArrayId> reads;
+  std::vector<ArrayId> writes;   ///< maybe-modified (effect W)
+  std::vector<ArrayId> defines;  ///< fully redefined (effect D)
+};
+
+/// REALIGN array WITH target(...). After sema the target is a template and
+/// the alignment maps the array directly onto it.
+struct RealignStmt {
+  ArrayId array = -1;
+  TemplateId target_template = -1;
+  mapping::Alignment align;
+};
+
+/// REDISTRIBUTE of a template (or of a directly distributed array, resolved
+/// to its implicit template by sema).
+struct RedistributeStmt {
+  TemplateId target_template = -1;
+  mapping::Distribution dist;
+};
+
+struct IfStmt {
+  std::vector<ArrayId> cond_reads;  ///< arrays read by the condition
+  Block then_body;
+  Block else_body;
+};
+
+struct LoopStmt {
+  Block body;
+  /// May the loop execute zero times? (HPF DO loops may — the paper's
+  /// Figure 11 has G_R edges that exist only because of this.)
+  bool may_zero_trip = true;
+  /// Trip count used when the program is *executed* on the simulated
+  /// machine (analyses never look at it).
+  mapping::Extent trip_count = 1;
+};
+
+struct CallStmt {
+  std::string callee;           ///< interface name
+  InterfaceId interface_id = -1;  ///< resolved by sema
+  std::vector<ArrayId> args;
+};
+
+/// The prototype compiler's kill directive (§4.3): asserts the array's
+/// values are dead at this point, so remapping it needs no communication.
+struct KillStmt {
+  ArrayId array = -1;
+};
+
+/// A rectangular sub-region of an array: one [lo, hi) interval per dim.
+using Region = std::vector<std::pair<mapping::Extent, mapping::Extent>>;
+
+/// The §4.3 array-region refinement of kill: asserts that only `region`
+/// of the array is live here. Elements outside it are dead and read as
+/// zero from this point on (a partial kill with a deterministic dead
+/// value); subsequent remapping communication is restricted to the
+/// region.
+struct LiveRegionStmt {
+  ArrayId array = -1;
+  Region region;
+};
+
+using StmtNode = std::variant<RefStmt, RealignStmt, RedistributeStmt, IfStmt,
+                              LoopStmt, CallStmt, KillStmt, LiveRegionStmt>;
+
+struct Stmt {
+  int id = -1;  ///< unique within the routine, assigned by Program
+  SourceLoc loc;
+  std::string label;  ///< optional, for printing and tests ("1", "S2", ...)
+  StmtNode node;
+};
+
+StmtPtr make_stmt(StmtNode node, SourceLoc loc = {}, std::string label = {});
+
+namespace detail {
+template <class StmtT, class Fn>
+void walk_stmt(StmtT& stmt, const Fn& fn) {
+  fn(stmt);
+  std::visit(
+      [&fn](auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, IfStmt>) {
+          for (auto& child : node.then_body) walk_stmt(*child, fn);
+          for (auto& child : node.else_body) walk_stmt(*child, fn);
+        } else if constexpr (std::is_same_v<T, LoopStmt>) {
+          for (auto& child : node.body) walk_stmt(*child, fn);
+        }
+      },
+      stmt.node);
+}
+}  // namespace detail
+
+/// Calls `fn(Stmt&)` for every statement in the block, pre-order, recursing
+/// into if/loop bodies.
+template <class Fn>
+void for_each_stmt(const Block& block, const Fn& fn) {
+  for (const auto& stmt : block) detail::walk_stmt(*stmt, fn);
+}
+
+}  // namespace hpfc::ir

@@ -1,0 +1,71 @@
+// Symbol tables of an HPF-lite routine: processor arrangements, templates,
+// distributed arrays (locals and dummy arguments), and the explicit
+// interfaces of callees. Per the paper's restriction 2, interfaces are
+// mandatory and prescriptive: they fully describe the mapping and intent of
+// every dummy argument, which lets the caller handle argument remappings
+// locally (§2.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapping/mapping.hpp"
+#include "mapping/shape.hpp"
+
+namespace hpfc::ir {
+
+using ArrayId = int;
+using TemplateId = int;
+using ProcsId = int;
+using InterfaceId = int;
+
+enum class Intent { In, Out, InOut };
+const char* to_string(Intent intent);
+
+struct ProcsDecl {
+  std::string name;
+  mapping::Shape shape;
+};
+
+struct TemplateDecl {
+  std::string name;
+  mapping::Shape shape;
+  /// Initial distribution (every used template must have one — sema checks).
+  mapping::Distribution initial_dist;
+  bool has_initial_dist = false;
+  /// True for the implicit template created by distributing an array
+  /// directly (DISTRIBUTE A(...)).
+  bool implicit = false;
+};
+
+struct ArrayDecl {
+  std::string name;
+  mapping::Shape shape;
+  bool is_dummy = false;
+  Intent intent = Intent::InOut;  ///< meaningful for dummies
+  /// Initial two-level mapping (template + alignment); the distribution
+  /// component is the template's initial one.
+  TemplateId template_id = -1;
+  mapping::Alignment align;
+  bool has_mapping = false;
+
+  /// May the array be remapped (DYNAMIC attribute; also set implicitly by
+  /// any realign/redistribute that touches it).
+  bool dynamic = false;
+};
+
+/// One dummy argument in an explicit interface.
+struct DummySpec {
+  std::string name;
+  mapping::Shape shape;
+  Intent intent = Intent::InOut;
+  /// The prescriptive mapping the callee requires.
+  mapping::FullMapping required;
+};
+
+struct InterfaceDecl {
+  std::string name;
+  std::vector<DummySpec> dummies;
+};
+
+}  // namespace hpfc::ir

@@ -1,0 +1,147 @@
+#include "mapping/align.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace hpfc::mapping {
+
+Extent AlignTarget::apply(Extent i) const {
+  HPFC_ASSERT(kind == Kind::Axis);
+  return stride * i + offset;
+}
+
+std::string AlignTarget::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::Axis:
+      if (stride != 1) os << stride << "*";
+      os << "i" << array_dim;
+      if (offset > 0) os << "+" << offset;
+      if (offset < 0) os << offset;
+      return os.str();
+    case Kind::Constant:
+      os << offset;
+      return os.str();
+    case Kind::Replicated:
+      return "*";
+  }
+  return "?";
+}
+
+Alignment Alignment::identity(int rank) {
+  Alignment a;
+  a.array_rank = rank;
+  a.per_template_dim.reserve(static_cast<std::size_t>(rank));
+  for (int d = 0; d < rank; ++d)
+    a.per_template_dim.push_back(AlignTarget::axis(d));
+  return a;
+}
+
+Alignment Alignment::compose_onto(const Alignment& outer) const {
+  HPFC_ASSERT_MSG(static_cast<int>(per_template_dim.size()) ==
+                      outer.array_rank,
+                  "inner alignment must target the outer array's rank");
+  Alignment result;
+  result.array_rank = array_rank;
+  result.per_template_dim.reserve(outer.per_template_dim.size());
+  for (const AlignTarget& out : outer.per_template_dim) {
+    switch (out.kind) {
+      case AlignTarget::Kind::Replicated:
+      case AlignTarget::Kind::Constant:
+        result.per_template_dim.push_back(out);
+        break;
+      case AlignTarget::Kind::Axis: {
+        const AlignTarget& in =
+            per_template_dim[static_cast<std::size_t>(out.array_dim)];
+        switch (in.kind) {
+          case AlignTarget::Kind::Replicated:
+            result.per_template_dim.push_back(AlignTarget::replicated());
+            break;
+          case AlignTarget::Kind::Constant:
+            result.per_template_dim.push_back(
+                AlignTarget::constant(out.stride * in.offset + out.offset));
+            break;
+          case AlignTarget::Kind::Axis:
+            result.per_template_dim.push_back(AlignTarget::axis(
+                in.array_dim, out.stride * in.stride,
+                out.stride * in.offset + out.offset));
+            break;
+        }
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::string Alignment::validate(const Shape& array_shape,
+                                const Shape& template_shape) const {
+  std::ostringstream os;
+  if (array_shape.rank() != array_rank) {
+    os << "alignment is for a rank-" << array_rank << " array, got rank "
+       << array_shape.rank();
+    return os.str();
+  }
+  if (static_cast<int>(per_template_dim.size()) != template_shape.rank()) {
+    os << "alignment has " << per_template_dim.size()
+       << " targets for a rank-" << template_shape.rank() << " template";
+    return os.str();
+  }
+  std::vector<int> used(static_cast<std::size_t>(array_rank), 0);
+  for (int t = 0; t < template_shape.rank(); ++t) {
+    const auto& target = per_template_dim[static_cast<std::size_t>(t)];
+    const Extent m = template_shape.extent(t);
+    switch (target.kind) {
+      case AlignTarget::Kind::Replicated:
+        break;
+      case AlignTarget::Kind::Constant:
+        if (target.offset < 0 || target.offset >= m) {
+          os << "constant alignment " << target.offset
+             << " outside template dim " << t << " extent " << m;
+          return os.str();
+        }
+        break;
+      case AlignTarget::Kind::Axis: {
+        if (target.array_dim < 0 || target.array_dim >= array_rank) {
+          os << "alignment target uses unknown array dim " << target.array_dim;
+          return os.str();
+        }
+        if (target.stride == 0) {
+          os << "alignment stride must be non-zero";
+          return os.str();
+        }
+        if (++used[static_cast<std::size_t>(target.array_dim)] > 1) {
+          os << "array dim " << target.array_dim
+             << " aligned to more than one template dim";
+          return os.str();
+        }
+        const Extent n = array_shape.extent(target.array_dim);
+        const Extent lo = std::min(target.apply(0), target.apply(n - 1));
+        const Extent hi = std::max(target.apply(0), target.apply(n - 1));
+        if (lo < 0 || hi >= m) {
+          os << "alignment image [" << lo << "," << hi
+             << "] outside template dim " << t << " extent " << m;
+          return os.str();
+        }
+        break;
+      }
+    }
+  }
+  return {};
+}
+
+std::string Alignment::to_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t t = 0; t < per_template_dim.size(); ++t) {
+    if (t > 0) os << ",";
+    os << per_template_dim[t].to_string();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace hpfc::mapping

@@ -1,0 +1,104 @@
+#include "mapping/dist.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace hpfc::mapping {
+
+Extent DistFormat::resolved_param(Extent template_extent, Extent procs) const {
+  switch (kind) {
+    case Kind::Collapsed:
+      return 0;
+    case Kind::Block:
+      return param > 0 ? param : ceil_div(template_extent, procs);
+    case Kind::Cyclic:
+      return param > 0 ? param : 1;
+  }
+  return 0;
+}
+
+std::string DistFormat::to_string() const {
+  switch (kind) {
+    case Kind::Collapsed:
+      return "*";
+    case Kind::Block: {
+      if (param == 0) return "block";
+      std::ostringstream os;
+      os << "block(" << param << ")";
+      return os.str();
+    }
+    case Kind::Cyclic: {
+      if (param == 0 || param == 1) return "cyclic";
+      std::ostringstream os;
+      os << "cyclic(" << param << ")";
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+int Distribution::distributed_dims() const {
+  int count = 0;
+  for (const auto& f : per_dim)
+    if (f.distributed()) ++count;
+  return count;
+}
+
+std::optional<int> Distribution::proc_dim_of(int t_dim) const {
+  HPFC_ASSERT(t_dim >= 0 && t_dim < static_cast<int>(per_dim.size()));
+  if (!per_dim[static_cast<std::size_t>(t_dim)].distributed())
+    return std::nullopt;
+  int proc_dim = 0;
+  for (int d = 0; d < t_dim; ++d)
+    if (per_dim[static_cast<std::size_t>(d)].distributed()) ++proc_dim;
+  return proc_dim;
+}
+
+std::string Distribution::validate(const Shape& template_shape) const {
+  std::ostringstream os;
+  if (static_cast<int>(per_dim.size()) != template_shape.rank()) {
+    os << "distribution has " << per_dim.size() << " formats for a rank-"
+       << template_shape.rank() << " template";
+    return os.str();
+  }
+  if (distributed_dims() != proc_shape.rank()) {
+    os << "distribution uses " << distributed_dims()
+       << " distributed dimension(s) but the processor arrangement has rank "
+       << proc_shape.rank();
+    return os.str();
+  }
+  for (int t = 0; t < template_shape.rank(); ++t) {
+    const auto& f = per_dim[static_cast<std::size_t>(t)];
+    if (!f.distributed()) continue;
+    const int p = *proc_dim_of(t);
+    const Extent procs = proc_shape.extent(p);
+    const Extent m = template_shape.extent(t);
+    if (f.kind == DistFormat::Kind::Block) {
+      const Extent b = f.resolved_param(m, procs);
+      if (b * procs < m) {
+        os << "block(" << b << ") over " << procs
+           << " processors cannot hold extent " << m;
+        return os.str();
+      }
+    }
+    if (f.param < 0) {
+      os << "negative distribution parameter " << f.param;
+      return os.str();
+    }
+  }
+  return {};
+}
+
+std::string Distribution::to_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t d = 0; d < per_dim.size(); ++d) {
+    if (d > 0) os << ",";
+    os << per_dim[d].to_string();
+  }
+  os << ") onto " << proc_shape.to_string();
+  return os.str();
+}
+
+}  // namespace hpfc::mapping

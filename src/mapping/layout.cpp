@@ -1,0 +1,284 @@
+#include "mapping/layout.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace hpfc::mapping {
+
+namespace {
+
+/// Canonicalizes one owner rule so that placement-equal layouts compare
+/// equal structurally. See header comment.
+DimOwner canonicalize(DimOwner owner, Extent procs, Extent array_extent) {
+  // A single-processor grid dimension constrains nothing.
+  if (procs == 1) {
+    owner.source = AlignTarget::constant(0);
+    owner.format = DistFormat::block(1);
+    owner.template_extent = 1;
+    return owner;
+  }
+  const Extent m = owner.template_extent;
+  // CYCLIC(k) that wraps at most once is BLOCK(k).
+  if (owner.format.kind == DistFormat::Kind::Cyclic &&
+      owner.format.param * procs >= m) {
+    owner.format = DistFormat::block(owner.format.param);
+  }
+  // BLOCK(b) with b >= m puts everything on coordinate 0.
+  if (owner.format.kind == DistFormat::Kind::Block &&
+      owner.format.param >= m) {
+    owner.format = DistFormat::block(m);
+  }
+  // An axis over a one-element array dimension is a constant.
+  if (owner.source.kind == AlignTarget::Kind::Axis && array_extent == 1) {
+    owner.source = AlignTarget::constant(owner.source.offset);
+  }
+  return owner;
+}
+
+}  // namespace
+
+ConcreteLayout ConcreteLayout::make(Shape array_shape, Shape proc_shape,
+                                    std::vector<DimOwner> owners) {
+  HPFC_ASSERT_MSG(static_cast<int>(owners.size()) == proc_shape.rank(),
+                  "one owner rule per processor-grid dimension");
+  ConcreteLayout layout;
+  layout.array_shape_ = std::move(array_shape);
+  layout.proc_shape_ = std::move(proc_shape);
+  layout.owners_.reserve(owners.size());
+  for (int p = 0; p < layout.proc_shape_.rank(); ++p) {
+    DimOwner& owner = owners[static_cast<std::size_t>(p)];
+    HPFC_ASSERT_MSG(owner.format.distributed(),
+                    "grid dimensions carry block or cyclic formats");
+    HPFC_ASSERT(owner.format.param > 0);
+    const Extent array_extent =
+        owner.source.kind == AlignTarget::Kind::Axis
+            ? layout.array_shape_.extent(owner.source.array_dim)
+            : 1;
+    layout.owners_.push_back(
+        canonicalize(owner, layout.proc_shape_.extent(p), array_extent));
+  }
+  return layout;
+}
+
+ConcreteLayout ConcreteLayout::serial(Shape array_shape) {
+  ConcreteLayout layout;
+  layout.array_shape_ = std::move(array_shape);
+  layout.proc_shape_ = Shape{1};
+  layout.owners_ = {DimOwner{AlignTarget::constant(0), DistFormat::block(1), 1}};
+  // Run through make() canonicalization for the single-proc rule.
+  return make(layout.array_shape_, layout.proc_shape_, layout.owners_);
+}
+
+bool ConcreteLayout::replicated() const {
+  return std::any_of(owners_.begin(), owners_.end(), [](const DimOwner& o) {
+    return o.source.kind == AlignTarget::Kind::Replicated;
+  });
+}
+
+Extent ConcreteLayout::coord_of_template(int p, Extent t) const {
+  const DimOwner& owner = owners_[static_cast<std::size_t>(p)];
+  const Extent procs = proc_shape_.extent(p);
+  HPFC_ASSERT_MSG(t >= 0 && t < owner.template_extent,
+                  "template coordinate out of range");
+  switch (owner.format.kind) {
+    case DistFormat::Kind::Block: {
+      const Extent coord = t / owner.format.param;
+      HPFC_ASSERT(coord < procs);
+      return coord;
+    }
+    case DistFormat::Kind::Cyclic:
+      return (t / owner.format.param) % procs;
+    case DistFormat::Kind::Collapsed:
+      break;
+  }
+  HPFC_ASSERT_MSG(false, "collapsed format on a grid dimension");
+  return 0;
+}
+
+std::vector<Index> ConcreteLayout::axis_indices(int p, Extent coord) const {
+  const DimOwner& owner = owners_[static_cast<std::size_t>(p)];
+  HPFC_ASSERT(owner.source.kind == AlignTarget::Kind::Axis);
+  const Extent n = array_shape_.extent(owner.source.array_dim);
+  std::vector<Index> indices;
+  for (Extent i = 0; i < n; ++i) {
+    if (coord_of_template(p, owner.source.apply(i)) == coord)
+      indices.push_back(i);
+  }
+  return indices;
+}
+
+std::vector<std::vector<Index>> ConcreteLayout::owned_index_lists(
+    int rank, bool for_sending) const {
+  HPFC_ASSERT(rank >= 0 && rank < ranks());
+  const IndexVec coords = proc_shape_.delinearize(rank);
+
+  // Start unconstrained: each array dim owns its full range.
+  std::vector<std::vector<Index>> lists(
+      static_cast<std::size_t>(array_shape_.rank()));
+  for (int d = 0; d < array_shape_.rank(); ++d) {
+    auto& list = lists[static_cast<std::size_t>(d)];
+    list.resize(static_cast<std::size_t>(array_shape_.extent(d)));
+    std::iota(list.begin(), list.end(), Index{0});
+  }
+
+  for (int p = 0; p < proc_shape_.rank(); ++p) {
+    const DimOwner& owner = owners_[static_cast<std::size_t>(p)];
+    const Extent coord = coords[static_cast<std::size_t>(p)];
+    switch (owner.source.kind) {
+      case AlignTarget::Kind::Replicated:
+        if (for_sending && coord != 0) {
+          for (auto& list : lists) list.clear();
+          return lists;
+        }
+        break;
+      case AlignTarget::Kind::Constant:
+        if (coord_of_template(p, owner.source.offset) != coord) {
+          for (auto& list : lists) list.clear();
+          return lists;
+        }
+        break;
+      case AlignTarget::Kind::Axis: {
+        // Each array dim feeds at most one grid dim, so this replaces the
+        // unconstrained list exactly once.
+        lists[static_cast<std::size_t>(owner.source.array_dim)] =
+            axis_indices(p, coord);
+        break;
+      }
+    }
+  }
+  // Empty on any dim means the rank owns nothing: normalize all-empty.
+  for (const auto& list : lists) {
+    if (list.empty()) {
+      for (auto& l : lists) l.clear();
+      break;
+    }
+  }
+  return lists;
+}
+
+Extent ConcreteLayout::local_count(int rank) const {
+  const auto lists = owned_index_lists(rank);
+  Extent count = 1;
+  for (const auto& list : lists) count *= static_cast<Extent>(list.size());
+  return array_shape_.rank() == 0 ? 1 : count;
+}
+
+bool ConcreteLayout::owns(int rank, std::span<const Index> global) const {
+  HPFC_ASSERT(array_shape_.contains(global));
+  const IndexVec coords = proc_shape_.delinearize(rank);
+  for (int p = 0; p < proc_shape_.rank(); ++p) {
+    const DimOwner& owner = owners_[static_cast<std::size_t>(p)];
+    const Extent coord = coords[static_cast<std::size_t>(p)];
+    switch (owner.source.kind) {
+      case AlignTarget::Kind::Replicated:
+        break;
+      case AlignTarget::Kind::Constant:
+        if (coord_of_template(p, owner.source.offset) != coord) return false;
+        break;
+      case AlignTarget::Kind::Axis: {
+        const Extent t = owner.source.apply(
+            global[static_cast<std::size_t>(owner.source.array_dim)]);
+        if (coord_of_template(p, t) != coord) return false;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<int> ConcreteLayout::owners_of(
+    std::span<const Index> global) const {
+  std::vector<int> result;
+  for (int r = 0; r < ranks(); ++r)
+    if (owns(r, global)) result.push_back(r);
+  return result;
+}
+
+int ConcreteLayout::primary_owner(std::span<const Index> global) const {
+  HPFC_ASSERT(array_shape_.contains(global));
+  IndexVec coords(static_cast<std::size_t>(proc_shape_.rank()), 0);
+  for (int p = 0; p < proc_shape_.rank(); ++p) {
+    const DimOwner& owner = owners_[static_cast<std::size_t>(p)];
+    switch (owner.source.kind) {
+      case AlignTarget::Kind::Replicated:
+        coords[static_cast<std::size_t>(p)] = 0;  // lowest replica
+        break;
+      case AlignTarget::Kind::Constant:
+        coords[static_cast<std::size_t>(p)] =
+            coord_of_template(p, owner.source.offset);
+        break;
+      case AlignTarget::Kind::Axis:
+        coords[static_cast<std::size_t>(p)] = coord_of_template(
+            p, owner.source.apply(
+                   global[static_cast<std::size_t>(owner.source.array_dim)]));
+        break;
+    }
+  }
+  return static_cast<int>(proc_shape_.linearize(coords));
+}
+
+Index ConcreteLayout::local_position(int rank,
+                                     std::span<const Index> global) const {
+  return position_in_lists(owned_index_lists(rank), global);
+}
+
+Index ConcreteLayout::position_in_lists(
+    const std::vector<std::vector<Index>>& lists,
+    std::span<const Index> global) {
+  HPFC_ASSERT(lists.size() == global.size());
+  Index position = 0;
+  for (std::size_t d = 0; d < lists.size(); ++d) {
+    const auto& list = lists[d];
+    const auto it = std::lower_bound(list.begin(), list.end(), global[d]);
+    if (it == list.end() || *it != global[d]) return -1;
+    position = position * static_cast<Index>(list.size()) +
+               static_cast<Index>(it - list.begin());
+  }
+  return position;
+}
+
+void ConcreteLayout::for_each_owned(
+    int rank,
+    const std::function<void(std::span<const Index>, Index)>& fn) const {
+  const auto lists = owned_index_lists(rank);
+  for (const auto& list : lists)
+    if (list.empty()) return;
+
+  const int rank_dims = array_shape_.rank();
+  IndexVec positions(static_cast<std::size_t>(rank_dims), 0);
+  IndexVec global(static_cast<std::size_t>(rank_dims), 0);
+  Extent count = 1;
+  for (const auto& list : lists) count *= static_cast<Extent>(list.size());
+
+  for (Extent local = 0; local < count; ++local) {
+    for (int d = 0; d < rank_dims; ++d) {
+      global[static_cast<std::size_t>(d)] =
+          lists[static_cast<std::size_t>(d)]
+               [static_cast<std::size_t>(positions[static_cast<std::size_t>(d)])];
+    }
+    fn(global, local);
+    for (int d = rank_dims - 1; d >= 0; --d) {
+      auto& pos = positions[static_cast<std::size_t>(d)];
+      if (++pos < static_cast<Index>(lists[static_cast<std::size_t>(d)].size()))
+        break;
+      pos = 0;
+    }
+  }
+}
+
+std::string ConcreteLayout::to_string() const {
+  std::ostringstream os;
+  os << array_shape_.to_string() << " on " << proc_shape_.to_string() << " [";
+  for (std::size_t p = 0; p < owners_.size(); ++p) {
+    if (p > 0) os << ", ";
+    os << owners_[p].source.to_string() << ":"
+       << owners_[p].format.to_string() << "/" << owners_[p].template_extent;
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace hpfc::mapping

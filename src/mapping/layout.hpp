@@ -1,0 +1,108 @@
+// ConcreteLayout: the *normalized* form of a two-level HPF mapping.
+//
+// A FullMapping (alignment onto a template + the template's distribution
+// onto a processor arrangement) is flattened into one owner rule per
+// processor-grid dimension: the processor coordinate along grid dim p is a
+// function of a single array dimension (through an affine template
+// coordinate), of a constant template coordinate, or is unconstrained
+// (replication). Two different (alignment, distribution) pairs that place
+// every element identically normalize to equal ConcreteLayouts — this is
+// the equality used for array *versions* (the paper's A_0, A_1, ...), so a
+// realign+redistribute that restores the initial placement (Figure 2) is
+// recognized as "the same version".
+//
+// Because each array dimension feeds at most one template dimension (HPF
+// rule, enforced by Alignment::validate), the element set owned by a rank
+// is a cartesian product of per-array-dimension index lists; every
+// ownership query below exploits that structure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mapping/align.hpp"
+#include "mapping/dist.hpp"
+#include "mapping/shape.hpp"
+
+namespace hpfc::mapping {
+
+/// Owner rule for one processor-grid dimension.
+struct DimOwner {
+  AlignTarget source;      ///< Axis / Constant / Replicated
+  DistFormat format;       ///< Block or Cyclic with resolved (>0) parameter
+  Extent template_extent;  ///< extent of the underlying template dimension
+
+  friend bool operator==(const DimOwner&, const DimOwner&) = default;
+};
+
+class ConcreteLayout {
+ public:
+  ConcreteLayout() = default;
+
+  /// Builds and canonicalizes a layout. `owners` has one entry per
+  /// processor-grid dimension (same rank as `proc_shape`).
+  static ConcreteLayout make(Shape array_shape, Shape proc_shape,
+                             std::vector<DimOwner> owners);
+
+  /// A layout of `array_shape` fully owned by a single rank (serial).
+  static ConcreteLayout serial(Shape array_shape);
+
+  [[nodiscard]] const Shape& array_shape() const { return array_shape_; }
+  [[nodiscard]] const Shape& proc_shape() const { return proc_shape_; }
+  [[nodiscard]] const std::vector<DimOwner>& owners() const { return owners_; }
+  [[nodiscard]] int ranks() const {
+    return static_cast<int>(proc_shape_.total());
+  }
+  [[nodiscard]] bool replicated() const;
+
+  /// Processor coordinate along grid dim `p` holding template coordinate t.
+  [[nodiscard]] Extent coord_of_template(int p, Extent t) const;
+
+  /// Per-array-dimension sorted index lists whose cartesian product is the
+  /// element set owned by `rank`. When `for_sending` is true, replicated
+  /// grid dimensions are restricted to coordinate 0 so that each element
+  /// has exactly one sending owner.
+  [[nodiscard]] std::vector<std::vector<Index>> owned_index_lists(
+      int rank, bool for_sending = false) const;
+
+  [[nodiscard]] Extent local_count(int rank) const;
+  [[nodiscard]] bool owns(int rank, std::span<const Index> global) const;
+  /// All ranks owning `global` (more than one under replication).
+  [[nodiscard]] std::vector<int> owners_of(std::span<const Index> global) const;
+  /// Lowest-numbered owning rank.
+  [[nodiscard]] int primary_owner(std::span<const Index> global) const;
+
+  /// Row-major position of `global` within rank's owned product set, or -1.
+  /// Recomputes the rank's owned lists; for repeated queries use
+  /// position_in_lists with lists obtained once from owned_index_lists.
+  [[nodiscard]] Index local_position(int rank,
+                                     std::span<const Index> global) const;
+
+  /// Row-major position of `global` within the product of `lists`
+  /// (as returned by owned_index_lists), or -1 when not a member.
+  static Index position_in_lists(const std::vector<std::vector<Index>>& lists,
+                                 std::span<const Index> global);
+
+  /// Calls fn(global_index, local_position) for each element owned by rank,
+  /// in local (row-major product) order.
+  void for_each_owned(
+      int rank,
+      const std::function<void(std::span<const Index>, Index)>& fn) const;
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const ConcreteLayout&, const ConcreteLayout&) = default;
+
+ private:
+  /// Sorted array indices along `array_dim` constrained by grid dim p at
+  /// coordinate `coord` (Axis sources only).
+  [[nodiscard]] std::vector<Index> axis_indices(int p, Extent coord) const;
+
+  Shape array_shape_;
+  Shape proc_shape_;
+  std::vector<DimOwner> owners_;
+};
+
+}  // namespace hpfc::mapping

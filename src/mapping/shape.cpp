@@ -1,0 +1,76 @@
+#include "mapping/shape.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace hpfc::mapping {
+
+Shape::Shape(std::vector<Extent> extents) : extents_(std::move(extents)) {
+  for (const Extent e : extents_)
+    HPFC_ASSERT_MSG(e > 0, "shape extents must be positive");
+}
+
+Extent Shape::extent(int dim) const {
+  HPFC_ASSERT(dim >= 0 && dim < rank());
+  return extents_[static_cast<std::size_t>(dim)];
+}
+
+Extent Shape::total() const {
+  Extent product = 1;
+  for (const Extent e : extents_) product *= e;
+  return product;
+}
+
+Index Shape::linearize(std::span<const Index> index) const {
+  HPFC_ASSERT(static_cast<int>(index.size()) == rank());
+  Index linear = 0;
+  for (int d = 0; d < rank(); ++d) {
+    const Index i = index[static_cast<std::size_t>(d)];
+    HPFC_ASSERT_MSG(i >= 0 && i < extent(d), "index out of bounds");
+    linear = linear * extent(d) + i;
+  }
+  return linear;
+}
+
+IndexVec Shape::delinearize(Index linear) const {
+  HPFC_ASSERT(linear >= 0 && linear < total());
+  IndexVec index(static_cast<std::size_t>(rank()));
+  for (int d = rank() - 1; d >= 0; --d) {
+    index[static_cast<std::size_t>(d)] = linear % extent(d);
+    linear /= extent(d);
+  }
+  return index;
+}
+
+bool Shape::contains(std::span<const Index> index) const {
+  if (static_cast<int>(index.size()) != rank()) return false;
+  for (int d = 0; d < rank(); ++d) {
+    const Index i = index[static_cast<std::size_t>(d)];
+    if (i < 0 || i >= extent(d)) return false;
+  }
+  return true;
+}
+
+void Shape::for_each(
+    const std::function<void(std::span<const Index>)>& fn) const {
+  IndexVec index(static_cast<std::size_t>(rank()), 0);
+  const Extent count = total();
+  for (Extent n = 0; n < count; ++n) {
+    fn(index);
+    for (int d = rank() - 1; d >= 0; --d) {
+      auto& i = index[static_cast<std::size_t>(d)];
+      if (++i < extent(d)) break;
+      i = 0;
+    }
+  }
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << "(" << join(extents_, ",") << ")";
+  return os.str();
+}
+
+}  // namespace hpfc::mapping

@@ -1,0 +1,25 @@
+// Linear (alpha-beta) communication cost model, the standard model for
+// distributed-memory machines of the paper's era: sending a message of b
+// bytes costs latency + b * inv_bandwidth seconds. The simulated machine
+// charges each rank for what it sends and receives within a superstep and
+// advances global time by the busiest rank (BSP-style).
+#pragma once
+
+#include <cstdint>
+
+namespace hpfc::net {
+
+struct CostModel {
+  /// Per-message start-up cost in seconds (alpha). Default ~ a 1997-era MPP.
+  double latency = 25e-6;
+  /// Per-byte transfer cost in seconds (beta); default 1/(100 MB/s).
+  double inv_bandwidth = 1.0 / 100e6;
+
+  [[nodiscard]] double message_time(std::uint64_t messages,
+                                    std::uint64_t bytes) const {
+    return latency * static_cast<double>(messages) +
+           inv_bandwidth * static_cast<double>(bytes);
+  }
+};
+
+}  // namespace hpfc::net

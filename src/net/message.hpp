@@ -1,0 +1,24 @@
+// Messages exchanged on the simulated machine. Payloads are arrays of
+// doubles because every distributed object in this library is an array of
+// numeric elements; a small integer tag distinguishes logical streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hpfc::net {
+
+using Rank = int;
+
+struct Message {
+  Rank src = 0;
+  Rank dst = 0;
+  int tag = 0;
+  std::vector<double> payload;
+
+  [[nodiscard]] std::uint64_t bytes() const {
+    return static_cast<std::uint64_t>(payload.size()) * sizeof(double);
+  }
+};
+
+}  // namespace hpfc::net

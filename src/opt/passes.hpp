@@ -1,0 +1,50 @@
+// Dataflow optimizations on the remapping graph (paper §4, Appendices C-D)
+// plus the loop-invariant remapping motion of §4.3 (Figures 16-17).
+//
+// All passes operate on the small G_R, not the CFG — the paper's point:
+// the remapping graph abstracts exactly the mapping/liveness information
+// needed, and is much smaller than the control-flow graph.
+#pragma once
+
+#include "ir/program.hpp"
+#include "remap/build.hpp"
+
+namespace hpfc::opt {
+
+struct OptReport {
+  /// (vertex, array) remappings whose U was N and which were removed.
+  int removed_remappings = 0;
+  /// Vertices left with no remapped array at all after removal.
+  int vertices_deactivated = 0;
+  /// Remap statements hoisted out of loops (Figure 16 -> 17).
+  int hoisted_remaps = 0;
+  /// Result of the Theorem 1 validation, when requested.
+  bool theorem1_holds = true;
+};
+
+/// Appendix C: removes every remapping whose leaving copy is never used
+/// (U = N) — also applying the Figure 22 import floors to the entry labels
+/// of dummy arguments first — then recomputes all reaching sets as the
+/// transitive closure over removed vertices.
+void remove_useless_remappings(remap::Analysis& analysis, OptReport& report);
+
+/// Independent check of Theorem 1 on the optimized graph: a version `a`
+/// is in R_A(v) iff some G_R path reaches v from a vertex leaving `a`
+/// with every intermediate vertex removed for A. Returns true when the
+/// computed sets are exactly the path-derived ones.
+bool validate_theorem1(const remap::Analysis& analysis);
+
+/// Appendix D: fills the maybe-live sets M_A(v): copies that may still be
+/// used later along paths where the array is only read. The runtime keeps
+/// only copies in M (everything else is freed at the vertex), which is what
+/// turns a later remap back to a kept copy into a no-op.
+void compute_maybe_live(remap::Analysis& analysis);
+
+/// Figures 16-17: moves a remapping that ends a loop body out of the loop
+/// when the remapped arrays are not referenced before the body's first
+/// remapping of them (so on the back-edge path the moved statement was
+/// useless). Returns the number of statements moved. Must run *before*
+/// analyze() — it rewrites the AST.
+int hoist_loop_invariant_remaps(ir::Program& program);
+
+}  // namespace hpfc::opt

@@ -1,0 +1,182 @@
+#include "redist/commsets.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <sstream>
+
+#include "redist/progression.hpp"
+#include "support/check.hpp"
+
+namespace hpfc::redist {
+
+namespace {
+
+std::vector<Index> intersect_sorted(const std::vector<Index>& a,
+                                    const std::vector<Index>& b) {
+  std::vector<Index> result;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(result));
+  return result;
+}
+
+/// Per-rank ownership digest used by the periodic builder: whether the rank
+/// owns anything at all, and an optional pattern per constrained array dim.
+struct RankPatterns {
+  bool alive = true;
+  /// One optional pattern per array dimension; nullopt = unconstrained.
+  std::vector<std::optional<PeriodicPattern>> per_dim;
+};
+
+RankPatterns rank_patterns(const ConcreteLayout& layout, int rank,
+                           bool for_sending) {
+  using mapping::AlignTarget;
+  RankPatterns result;
+  result.per_dim.resize(
+      static_cast<std::size_t>(layout.array_shape().rank()));
+  const auto coords = layout.proc_shape().delinearize(rank);
+  for (int p = 0; p < layout.proc_shape().rank(); ++p) {
+    const auto& owner = layout.owners()[static_cast<std::size_t>(p)];
+    const Extent coord = coords[static_cast<std::size_t>(p)];
+    switch (owner.source.kind) {
+      case AlignTarget::Kind::Replicated:
+        if (for_sending && coord != 0) result.alive = false;
+        break;
+      case AlignTarget::Kind::Constant:
+        if (layout.coord_of_template(p, owner.source.offset) != coord)
+          result.alive = false;
+        break;
+      case AlignTarget::Kind::Axis: {
+        auto pattern = PeriodicPattern::from_dim_owner(
+            owner, layout.proc_shape().extent(p), coord,
+            layout.array_shape().extent(owner.source.array_dim));
+        if (pattern.count() == 0) result.alive = false;
+        result.per_dim[static_cast<std::size_t>(owner.source.array_dim)] =
+            std::move(pattern);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Index> full_range(Extent n) {
+  std::vector<Index> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), Index{0});
+  return all;
+}
+
+}  // namespace
+
+Extent Transfer::count() const {
+  Extent product = 1;
+  for (const auto& list : dim_indices)
+    product *= static_cast<Extent>(list.size());
+  return product;
+}
+
+Extent RedistPlan::total_elements() const {
+  Extent total = 0;
+  for (const auto& t : transfers) total += t.count();
+  return total;
+}
+
+int RedistPlan::remote_transfers() const {
+  int count = 0;
+  for (const auto& t : transfers)
+    if (t.src != t.dst) ++count;
+  return count;
+}
+
+std::string RedistPlan::summary() const {
+  std::ostringstream os;
+  os << transfers.size() << " transfers (" << remote_transfers()
+     << " remote), " << total_elements() << " elements";
+  return os.str();
+}
+
+RedistPlan build(const ConcreteLayout& from, const ConcreteLayout& to) {
+  HPFC_ASSERT_MSG(from.array_shape() == to.array_shape(),
+                  "redistribution requires identical array shapes");
+  RedistPlan plan;
+  const int dims = from.array_shape().rank();
+
+  for (int src = 0; src < from.ranks(); ++src) {
+    const auto src_lists = from.owned_index_lists(src, /*for_sending=*/true);
+    if (!src_lists.empty() && src_lists.front().empty() && dims > 0) continue;
+    for (int dst = 0; dst < to.ranks(); ++dst) {
+      const auto dst_lists = to.owned_index_lists(dst);
+      Transfer transfer;
+      transfer.src = src;
+      transfer.dst = dst;
+      transfer.dim_indices.reserve(static_cast<std::size_t>(dims));
+      bool empty = false;
+      for (int d = 0; d < dims; ++d) {
+        auto common = intersect_sorted(src_lists[static_cast<std::size_t>(d)],
+                                       dst_lists[static_cast<std::size_t>(d)]);
+        if (common.empty()) {
+          empty = true;
+          break;
+        }
+        transfer.dim_indices.push_back(std::move(common));
+      }
+      if (!empty) plan.transfers.push_back(std::move(transfer));
+    }
+  }
+  return plan;
+}
+
+RedistPlan build_periodic(const ConcreteLayout& from,
+                          const ConcreteLayout& to) {
+  HPFC_ASSERT_MSG(from.array_shape() == to.array_shape(),
+                  "redistribution requires identical array shapes");
+  RedistPlan plan;
+  const int dims = from.array_shape().rank();
+
+  std::vector<RankPatterns> senders;
+  senders.reserve(static_cast<std::size_t>(from.ranks()));
+  for (int src = 0; src < from.ranks(); ++src)
+    senders.push_back(rank_patterns(from, src, /*for_sending=*/true));
+
+  std::vector<RankPatterns> receivers;
+  receivers.reserve(static_cast<std::size_t>(to.ranks()));
+  for (int dst = 0; dst < to.ranks(); ++dst)
+    receivers.push_back(rank_patterns(to, dst, /*for_sending=*/false));
+
+  for (int src = 0; src < from.ranks(); ++src) {
+    const auto& sp = senders[static_cast<std::size_t>(src)];
+    if (!sp.alive) continue;
+    for (int dst = 0; dst < to.ranks(); ++dst) {
+      const auto& rp = receivers[static_cast<std::size_t>(dst)];
+      if (!rp.alive) continue;
+      Transfer transfer;
+      transfer.src = src;
+      transfer.dst = dst;
+      transfer.dim_indices.reserve(static_cast<std::size_t>(dims));
+      bool empty = false;
+      for (int d = 0; d < dims; ++d) {
+        const auto& a = sp.per_dim[static_cast<std::size_t>(d)];
+        const auto& b = rp.per_dim[static_cast<std::size_t>(d)];
+        std::vector<Index> common;
+        if (a && b) {
+          common = PeriodicPattern::intersect(*a, *b).materialize();
+        } else if (a) {
+          common = a->materialize();
+        } else if (b) {
+          common = b->materialize();
+        } else {
+          common = full_range(from.array_shape().extent(d));
+        }
+        if (common.empty()) {
+          empty = true;
+          break;
+        }
+        transfer.dim_indices.push_back(std::move(common));
+      }
+      if (!empty) plan.transfers.push_back(std::move(transfer));
+    }
+  }
+  return plan;
+}
+
+}  // namespace hpfc::redist

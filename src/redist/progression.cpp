@@ -1,0 +1,110 @@
+#include "redist/progression.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace hpfc::redist {
+
+PeriodicPattern::PeriodicPattern(Extent period, std::vector<Index> offsets,
+                                 Extent limit)
+    : period_(period), offsets_(std::move(offsets)), limit_(limit) {
+  HPFC_ASSERT(period_ > 0);
+  HPFC_ASSERT(limit_ >= 0);
+  HPFC_ASSERT(std::is_sorted(offsets_.begin(), offsets_.end()));
+  for (const Index o : offsets_) HPFC_ASSERT(o >= 0 && o < period_);
+}
+
+PeriodicPattern PeriodicPattern::from_dim_owner(const mapping::DimOwner& owner,
+                                                Extent procs, Extent coord,
+                                                Extent array_extent) {
+  using mapping::AlignTarget;
+  using mapping::DistFormat;
+  HPFC_ASSERT(owner.source.kind == AlignTarget::Kind::Axis);
+  const Extent s = owner.source.stride;
+  const Extent o = owner.source.offset;
+  const Extent k = owner.format.param;
+
+  if (owner.format.kind == DistFormat::Kind::Block) {
+    // Contiguous template run [coord*k, (coord+1)*k); a single window.
+    std::vector<Index> offsets;
+    for (Extent i = 0; i < array_extent; ++i) {
+      const Extent t = s * i + o;
+      if (t / k == coord) offsets.push_back(i);
+    }
+    return PeriodicPattern(std::max<Extent>(array_extent, 1),
+                           std::move(offsets), array_extent);
+  }
+
+  HPFC_ASSERT(owner.format.kind == DistFormat::Kind::Cyclic);
+  // t(i) mod (k*procs) is periodic in i with period (k*procs)/gcd(|s|, k*procs).
+  const Extent cycle = k * procs;
+  const Extent period = std::min<Extent>(cycle / gcd64(s < 0 ? -s : s, cycle),
+                                         std::max<Extent>(array_extent, 1));
+  std::vector<Index> offsets;
+  for (Extent i = 0; i < period && i < array_extent; ++i) {
+    const Extent t = s * i + o;
+    if ((t / k) % procs == coord) offsets.push_back(i);
+  }
+  return PeriodicPattern(period, std::move(offsets), array_extent);
+}
+
+PeriodicPattern PeriodicPattern::intersect(const PeriodicPattern& a,
+                                           const PeriodicPattern& b) {
+  const Extent limit = std::min(a.limit_, b.limit_);
+  Extent period = lcm64(a.period_, b.period_);
+  if (period > limit) period = std::max<Extent>(limit, 1);
+
+  std::vector<Index> offsets;
+  // Walk a's offsets replicated over the combined window, test b.
+  for (Extent base = 0; base < period; base += a.period_) {
+    for (const Index o : a.offsets_) {
+      const Index i = base + o;
+      if (i >= period) break;
+      if (b.contains(i) && a.contains(i)) offsets.push_back(i);
+    }
+  }
+  std::sort(offsets.begin(), offsets.end());
+  return PeriodicPattern(period, std::move(offsets), limit);
+}
+
+Extent PeriodicPattern::count() const {
+  if (limit_ == 0 || offsets_.empty()) return 0;
+  const Extent full = limit_ / period_;
+  const Extent tail = limit_ % period_;
+  const auto below_tail =
+      std::lower_bound(offsets_.begin(), offsets_.end(), tail) -
+      offsets_.begin();
+  return full * static_cast<Extent>(offsets_.size()) +
+         static_cast<Extent>(below_tail);
+}
+
+bool PeriodicPattern::contains(Index i) const {
+  if (i < 0 || i >= limit_) return false;
+  const Index o = i % period_;
+  return std::binary_search(offsets_.begin(), offsets_.end(), o);
+}
+
+std::vector<Index> PeriodicPattern::materialize() const {
+  std::vector<Index> members;
+  members.reserve(static_cast<std::size_t>(count()));
+  for (Extent base = 0; base < limit_; base += period_) {
+    for (const Index o : offsets_) {
+      const Index i = base + o;
+      if (i >= limit_) break;
+      members.push_back(i);
+    }
+  }
+  return members;
+}
+
+std::string PeriodicPattern::to_string() const {
+  std::ostringstream os;
+  os << "{" << join(offsets_, ",") << "}+" << period_ << "Z in [0," << limit_
+     << ")";
+  return os.str();
+}
+
+}  // namespace hpfc::redist

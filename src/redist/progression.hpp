@@ -1,0 +1,59 @@
+// Periodic index patterns: the building block of efficient block-cyclic
+// redistribution (cf. the paper's reference [19], Prylli & Tourancheau,
+// "Efficient Block Cyclic Data Redistribution").
+//
+// The set of array indices a processor owns along one dimension under a
+// cyclic(k) distribution is periodic; under block it is a single run (a
+// degenerate pattern whose period covers the whole extent). Communication
+// sets are intersections of such patterns, computable over one lcm-sized
+// window instead of by scanning the whole dimension.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapping/layout.hpp"
+#include "mapping/shape.hpp"
+
+namespace hpfc::redist {
+
+using mapping::Extent;
+using mapping::Index;
+
+class PeriodicPattern {
+ public:
+  PeriodicPattern() = default;
+  /// Members are { o + j*period : o in offsets, j >= 0 } ∩ [0, limit).
+  /// `offsets` must be sorted, unique, within [0, period).
+  PeriodicPattern(Extent period, std::vector<Index> offsets, Extent limit);
+
+  /// Pattern of indices owned along `owner`'s array dimension by grid
+  /// coordinate `coord`. Only valid for Axis sources.
+  static PeriodicPattern from_dim_owner(const mapping::DimOwner& owner,
+                                        Extent procs, Extent coord,
+                                        Extent array_extent);
+
+  /// Set intersection; the result period is lcm(a.period, b.period),
+  /// clamped to the limit.
+  static PeriodicPattern intersect(const PeriodicPattern& a,
+                                   const PeriodicPattern& b);
+
+  [[nodiscard]] Extent period() const { return period_; }
+  [[nodiscard]] Extent limit() const { return limit_; }
+  [[nodiscard]] const std::vector<Index>& offsets() const { return offsets_; }
+
+  /// Number of members in [0, limit) — O(1) given the window.
+  [[nodiscard]] Extent count() const;
+  [[nodiscard]] bool contains(Index i) const;
+  /// Explicit sorted member list (for oracles and packing).
+  [[nodiscard]] std::vector<Index> materialize() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Extent period_ = 1;
+  std::vector<Index> offsets_;
+  Extent limit_ = 0;
+};
+
+}  // namespace hpfc::redist

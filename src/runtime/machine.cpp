@@ -1,0 +1,678 @@
+#include "runtime/machine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <sstream>
+
+#include "redist/commsets.hpp"
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace hpfc::runtime {
+
+namespace {
+
+using ir::ArrayId;
+using ir::CfgKind;
+using mapping::ConcreteLayout;
+using mapping::Index;
+
+/// Deterministic, order-independent read-checksum weight.
+constexpr std::uint64_t weight(std::int64_t linear) {
+  return (static_cast<std::uint64_t>(linear) * 2654435761ULL) % 1000003ULL + 1;
+}
+
+/// Value stamped by the `counter`-th write event at element `linear`.
+constexpr double stamped(std::uint64_t counter, std::int64_t linear) {
+  return static_cast<double>(counter * 1009ULL +
+                             static_cast<std::uint64_t>(linear % 997));
+}
+
+/// One statically mapped version of one array: a local piece per rank.
+struct VersionStorage {
+  bool allocated = false;
+  bool live = false;
+  std::vector<std::vector<double>> locals;  ///< per layout rank
+  std::uint64_t bytes = 0;
+};
+
+/// Pre-resolved local indices of one transfer (shared pack/unpack order).
+struct TransferProgram {
+  int src = 0;
+  int dst = 0;
+  std::vector<Index> src_locals;
+  std::vector<Index> dst_locals;
+};
+
+class Machine {
+ public:
+  Machine(const ir::Program& program, const remap::Analysis& analysis,
+          const codegen::RuntimeProgram* code, const RunOptions& options)
+      : program_(program),
+        analysis_(analysis),
+        code_(code),
+        options_(options),
+        rng_(options.seed),
+        net_(machine_ranks(program, options), options.cost) {
+    const std::size_t num_arrays = program_.arrays.size();
+    status_.assign(num_arrays, 0);
+    storage_.resize(num_arrays);
+    canonical_.resize(num_arrays);
+    for (std::size_t a = 0; a < num_arrays; ++a) {
+      if (!program_.arrays[a].has_mapping) continue;
+      canonical_[a].assign(
+          static_cast<std::size_t>(program_.arrays[a].shape.total()), 0.0);
+      storage_[a].resize(static_cast<std::size_t>(
+          analysis_.version_count(static_cast<ArrayId>(a))));
+    }
+    saved_.assign(code_ != nullptr ? static_cast<std::size_t>(code_->save_slots)
+                                   : 0,
+                  -1);
+    if (parallel()) {
+      // Dummy arguments arrive allocated by the caller with the imported
+      // values (zeros initially, like the canonical array).
+      for (const ArrayId a : program_.mapped_arrays())
+        if (program_.array(a).is_dummy) allocate(a, 0);
+    }
+  }
+
+  RunReport run() {
+    if (parallel())
+      for (const auto& op : code_->at_entry) execute(op);
+
+    int node = analysis_.cfg.entry();
+    std::map<int, mapping::Extent> loop_trips;
+    while (true) {
+      const ir::CfgNode& n = analysis_.cfg.node(node);
+      if (n.kind != CfgKind::CallPost && parallel())
+        for (const auto& op : code_->at_node[static_cast<std::size_t>(node)])
+          execute(op);
+
+      bool done = false;
+      int next = n.succs.empty() ? -1 : n.succs[0];
+      switch (n.kind) {
+        case CfgKind::Exit: {
+          if (parallel()) {
+            check_exported(n);
+            for (const auto& op : code_->at_exit) execute(op);
+          }
+          done = true;
+          break;
+        }
+        case CfgKind::Plain:
+          if (n.stmt != nullptr) {
+            if (const auto* ref = std::get_if<ir::RefStmt>(&n.stmt->node))
+              execute_ref(node, *ref);
+            else if (const auto* live =
+                         std::get_if<ir::LiveRegionStmt>(&n.stmt->node))
+              execute_live_region(*live);
+          }
+          break;
+        case CfgKind::Branch: {
+          const auto& ifs = std::get<ir::IfStmt>(n.stmt->node);
+          for (const ArrayId a : ifs.cond_reads) touch_read(node, a);
+          const bool take_then = (rng_() & 1u) != 0;
+          next = take_then ? n.succs[0] : n.succs[1];
+          break;
+        }
+        case CfgKind::LoopHead: {
+          const auto& loop = std::get<ir::LoopStmt>(n.stmt->node);
+          if (loop.may_zero_trip) {
+            auto [it, inserted] = loop_trips.try_emplace(node, loop.trip_count);
+            if (it->second > 0) {
+              --it->second;
+              next = n.succs[0];  // enter the body
+            } else {
+              loop_trips.erase(it);
+              next = n.succs.size() > 1 ? n.succs[1] : n.succs[0];
+            }
+          } else {
+            next = n.succs[0];
+          }
+          break;
+        }
+        case CfgKind::LoopLatch: {
+          const auto& loop = std::get<ir::LoopStmt>(n.stmt->node);
+          auto [it, inserted] = loop_trips.try_emplace(node, loop.trip_count);
+          if (inserted) --it->second;  // the first trip just completed
+          if (it->second > 0) {
+            --it->second;
+            next = n.succs[0];  // back edge
+          } else {
+            loop_trips.erase(it);
+            next = n.succs[1];
+          }
+          break;
+        }
+        case CfgKind::Call: {
+          const auto& call = std::get<ir::CallStmt>(n.stmt->node);
+          const auto& itf = program_.interface(call.interface_id);
+          for (std::size_t i = 0; i < call.args.size(); ++i) {
+            const ArrayId a = call.args[i];
+            if (!program_.array(a).has_mapping) continue;
+            switch (itf.dummies[i].intent) {
+              case ir::Intent::In:
+                touch_read(node, a);
+                break;
+              case ir::Intent::Out:
+                touch_write(node, a);
+                break;
+              case ir::Intent::InOut:
+                touch_read(node, a);
+                touch_write(node, a);
+                break;
+            }
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      if (n.kind == CfgKind::CallPost && parallel())
+        for (const auto& op : code_->at_node[static_cast<std::size_t>(node)])
+          execute(op);
+      if (done) break;
+      HPFC_ASSERT_MSG(next >= 0, "control fell off the CFG");
+      node = next;
+      if (options_.paranoid && parallel()) check_liveness_invariant();
+    }
+    report_.net = net_.stats();
+    return report_;
+  }
+
+ private:
+  [[nodiscard]] bool parallel() const { return code_ != nullptr; }
+
+  static int machine_ranks(const ir::Program& program,
+                           const RunOptions& options) {
+    if (options.ranks > 0) return options.ranks;
+    mapping::Extent max_ranks = 1;
+    for (const auto& p : program.procs)
+      max_ranks = std::max(max_ranks, p.shape.total());
+    return static_cast<int>(max_ranks);
+  }
+
+  const ConcreteLayout& layout(ArrayId a, int version) const {
+    return analysis_.versions[static_cast<std::size_t>(a)].layout(version);
+  }
+
+  // ---- storage management ------------------------------------------------
+
+  void allocate(ArrayId a, int version) {
+    auto& vs = storage_[static_cast<std::size_t>(a)]
+                       [static_cast<std::size_t>(version)];
+    if (vs.allocated) return;
+    const ConcreteLayout& lay = layout(a, version);
+    vs.locals.resize(static_cast<std::size_t>(lay.ranks()));
+    vs.bytes = 0;
+    for (int r = 0; r < lay.ranks(); ++r) {
+      const auto count = lay.local_count(r);
+      vs.locals[static_cast<std::size_t>(r)].assign(
+          static_cast<std::size_t>(count), 0.0);
+      vs.bytes += static_cast<std::uint64_t>(count) * sizeof(double);
+    }
+    vs.allocated = true;
+    ++report_.allocations;
+    bytes_in_use_ += vs.bytes;
+    if (options_.memory_limit != 0 && bytes_in_use_ > options_.memory_limit)
+      evict_until_fits(a, version);
+    report_.peak_bytes = std::max(report_.peak_bytes, bytes_in_use_);
+  }
+
+  void deallocate(ArrayId a, int version) {
+    auto& vs = storage_[static_cast<std::size_t>(a)]
+                       [static_cast<std::size_t>(version)];
+    if (!vs.allocated) return;
+    bytes_in_use_ -= vs.bytes;
+    vs.locals.clear();
+    vs.allocated = false;
+    vs.live = false;
+    ++report_.frees;
+  }
+
+  /// §5.2: under memory pressure the runtime frees live non-current copies
+  /// and clears their liveness; they are regenerated with communication if
+  /// needed again.
+  void evict_until_fits(ArrayId keep_array, int keep_version) {
+    for (std::size_t a = 0;
+         a < storage_.size() && bytes_in_use_ > options_.memory_limit; ++a) {
+      for (std::size_t v = 0; v < storage_[a].size(); ++v) {
+        if (bytes_in_use_ <= options_.memory_limit) break;
+        auto& vs = storage_[a][v];
+        if (!vs.allocated) continue;
+        const bool is_current =
+            static_cast<int>(v) == status_[a];
+        const bool is_keep = static_cast<int>(a) == keep_array &&
+                             static_cast<int>(v) == keep_version;
+        const bool is_dummy_origin = program_.arrays[a].is_dummy && v == 0;
+        if (is_current || is_keep || is_dummy_origin) continue;
+        deallocate(static_cast<ArrayId>(a), static_cast<int>(v));
+        ++report_.evictions;
+      }
+    }
+  }
+
+  // ---- generated code execution -----------------------------------------
+
+  void execute(const codegen::Op& op) {
+    using codegen::OpKind;
+    auto& versions = storage_[static_cast<std::size_t>(op.array)];
+    switch (op.kind) {
+      case OpKind::IfStatusNe:
+        if (status_[static_cast<std::size_t>(op.array)] != op.version) {
+          for (const auto& child : op.body) execute(child);
+        } else {
+          ++report_.skipped_already_mapped;
+        }
+        break;
+      case OpKind::IfStatusEq:
+        if (status_[static_cast<std::size_t>(op.array)] == op.version)
+          for (const auto& child : op.body) execute(child);
+        break;
+      case OpKind::IfNotLive:
+        if (!versions[static_cast<std::size_t>(op.version)].live) {
+          for (const auto& child : op.body) execute(child);
+        } else {
+          ++report_.skipped_live_copy;
+        }
+        break;
+      case OpKind::IfLive:
+        if (versions[static_cast<std::size_t>(op.version)].live)
+          for (const auto& child : op.body) execute(child);
+        break;
+      case OpKind::Allocate:
+        allocate(op.array, op.version);
+        break;
+      case OpKind::Copy:
+        copy(op.array, op.src_version, op.version, op.region);
+        break;
+      case OpKind::SetLive:
+        versions[static_cast<std::size_t>(op.version)].live = op.flag;
+        break;
+      case OpKind::SetStatus:
+        status_[static_cast<std::size_t>(op.array)] = op.version;
+        break;
+      case OpKind::Free:
+        deallocate(op.array, op.version);
+        break;
+      case OpKind::SaveStatus:
+        saved_[static_cast<std::size_t>(op.slot)] =
+            status_[static_cast<std::size_t>(op.array)];
+        break;
+      case OpKind::IfSavedEq:
+        if (saved_[static_cast<std::size_t>(op.slot)] == op.version)
+          for (const auto& child : op.body) execute(child);
+        break;
+    }
+  }
+
+  /// §4.3 live-region semantics: elements outside the region are dead and
+  /// read as zero from here on — in the canonical values and in every
+  /// live copy (a purely local operation).
+  void execute_live_region(const ir::LiveRegionStmt& live) {
+    if (!program_.array(live.array).has_mapping) return;
+    const auto inside = [&](std::span<const Index> global) {
+      for (std::size_t d = 0; d < live.region.size(); ++d)
+        if (global[d] < live.region[d].first ||
+            global[d] >= live.region[d].second)
+          return false;
+      return true;
+    };
+    auto& canonical = canonical_[static_cast<std::size_t>(live.array)];
+    const auto& shape = program_.array(live.array).shape;
+    shape.for_each([&](std::span<const Index> global) {
+      if (!inside(global))
+        canonical[static_cast<std::size_t>(shape.linearize(global))] = 0.0;
+    });
+    if (!parallel()) return;
+    auto& versions = storage_[static_cast<std::size_t>(live.array)];
+    for (std::size_t v = 0; v < versions.size(); ++v) {
+      auto& vs = versions[v];
+      if (!vs.allocated) continue;
+      const ConcreteLayout& lay = layout(live.array, static_cast<int>(v));
+      for (int r = 0; r < lay.ranks(); ++r) {
+        auto& local = vs.locals[static_cast<std::size_t>(r)];
+        lay.for_each_owned(r, [&](std::span<const Index> global, Index pos) {
+          if (!inside(global)) local[static_cast<std::size_t>(pos)] = 0.0;
+        });
+      }
+    }
+  }
+
+  /// The remapping communication: redistribute src version into dst,
+  /// optionally restricted to a live region.
+  void copy(ArrayId a, int src, int dst, const ir::Region& region) {
+    allocate(a, src);  // an untouched source is all zeros, like canonical
+    allocate(a, dst);
+    const TransferProgram* programs = transfer_programs(a, src, dst, region);
+    const auto& plan = plan_cache_.at(key(a, src, dst, region));
+
+    std::vector<std::vector<net::Message>> outboxes(
+        static_cast<std::size_t>(net_.ranks()));
+    auto& from = storage_[static_cast<std::size_t>(a)]
+                         [static_cast<std::size_t>(src)];
+    for (std::size_t t = 0; t < plan.transfers.size(); ++t) {
+      const TransferProgram& tp = programs[t];
+      net::Message msg;
+      msg.src = tp.src;
+      msg.dst = tp.dst;
+      msg.tag = static_cast<int>(t);
+      msg.payload.reserve(tp.src_locals.size());
+      const auto& src_local = from.locals[static_cast<std::size_t>(tp.src)];
+      for (const Index i : tp.src_locals)
+        msg.payload.push_back(src_local[static_cast<std::size_t>(i)]);
+      outboxes[static_cast<std::size_t>(tp.src)].push_back(std::move(msg));
+    }
+    const auto inboxes = net_.exchange(std::move(outboxes));
+    auto& to =
+        storage_[static_cast<std::size_t>(a)][static_cast<std::size_t>(dst)];
+    for (const auto& inbox : inboxes) {
+      for (const auto& msg : inbox) {
+        const TransferProgram& tp =
+            programs[static_cast<std::size_t>(msg.tag)];
+        auto& dst_local = to.locals[static_cast<std::size_t>(tp.dst)];
+        for (std::size_t i = 0; i < msg.payload.size(); ++i)
+          dst_local[static_cast<std::size_t>(tp.dst_locals[i])] =
+              msg.payload[i];
+        report_.elements_copied += msg.payload.size();
+      }
+    }
+    ++report_.copies_performed;
+  }
+
+  std::uint64_t key(ArrayId a, int src, int dst, const ir::Region& region) {
+    int region_id = 0;
+    if (!region.empty()) {
+      const auto [it, inserted] =
+          region_ids_.try_emplace(region, static_cast<int>(region_ids_.size()) + 1);
+      (void)inserted;
+      region_id = it->second;
+    }
+    return (static_cast<std::uint64_t>(region_id) << 48) |
+           (static_cast<std::uint64_t>(a) << 32) |
+           (static_cast<std::uint64_t>(src) << 16) |
+           static_cast<std::uint64_t>(dst);
+  }
+
+  const TransferProgram* transfer_programs(ArrayId a, int src, int dst,
+                                           const ir::Region& region) {
+    const std::uint64_t k = key(a, src, dst, region);
+    const auto it = program_cache_.find(k);
+    if (it != program_cache_.end()) return it->second.data();
+
+    const ConcreteLayout& from = layout(a, src);
+    const ConcreteLayout& to = layout(a, dst);
+    redist::RedistPlan plan = redist::build_periodic(from, to);
+    if (!region.empty()) {
+      // Restrict every transfer to the live rectangle; drop empties.
+      std::vector<redist::Transfer> restricted;
+      for (auto& transfer : plan.transfers) {
+        bool empty = false;
+        for (std::size_t d = 0; d < transfer.dim_indices.size(); ++d) {
+          auto& list = transfer.dim_indices[d];
+          std::erase_if(list, [&](Index i) {
+            return i < region[d].first || i >= region[d].second;
+          });
+          if (list.empty()) empty = true;
+        }
+        if (!empty) restricted.push_back(std::move(transfer));
+      }
+      plan.transfers = std::move(restricted);
+    }
+    std::vector<TransferProgram> programs;
+    programs.reserve(plan.transfers.size());
+    // Owned index lists are O(extent) to compute: do it once per endpoint
+    // rank, not once per element.
+    std::map<int, std::vector<std::vector<Index>>> src_lists;
+    std::map<int, std::vector<std::vector<Index>>> dst_lists;
+    for (const auto& transfer : plan.transfers) {
+      TransferProgram tp;
+      tp.src = transfer.src;
+      tp.dst = transfer.dst;
+      const auto sit = src_lists.try_emplace(
+          tp.src, from.owned_index_lists(tp.src)).first;
+      const auto dit = dst_lists.try_emplace(
+          tp.dst, to.owned_index_lists(tp.dst)).first;
+      const mapping::Extent count = transfer.count();
+      tp.src_locals.reserve(static_cast<std::size_t>(count));
+      tp.dst_locals.reserve(static_cast<std::size_t>(count));
+      // Enumerate the product in row-major order (the shared order).
+      const int dims = static_cast<int>(transfer.dim_indices.size());
+      std::vector<std::size_t> pos(static_cast<std::size_t>(dims), 0);
+      mapping::IndexVec global(static_cast<std::size_t>(dims), 0);
+      for (mapping::Extent e = 0; e < count; ++e) {
+        for (int d = 0; d < dims; ++d)
+          global[static_cast<std::size_t>(d)] =
+              transfer.dim_indices[static_cast<std::size_t>(d)]
+                                  [pos[static_cast<std::size_t>(d)]];
+        tp.src_locals.push_back(
+            ConcreteLayout::position_in_lists(sit->second, global));
+        tp.dst_locals.push_back(
+            ConcreteLayout::position_in_lists(dit->second, global));
+        HPFC_ASSERT(tp.src_locals.back() >= 0 && tp.dst_locals.back() >= 0);
+        for (int d = dims - 1; d >= 0; --d) {
+          auto& p = pos[static_cast<std::size_t>(d)];
+          if (++p < transfer.dim_indices[static_cast<std::size_t>(d)].size())
+            break;
+          p = 0;
+        }
+      }
+      programs.push_back(std::move(tp));
+    }
+    plan_cache_.emplace(k, std::move(plan));
+    return program_cache_.emplace(k, std::move(programs))
+        .first->second.data();
+  }
+
+  // ---- reference semantics -------------------------------------------
+
+  void execute_ref(int node, const ir::RefStmt& ref) {
+    for (const ArrayId a : ref.reads) touch_read(node, a);
+    for (const ArrayId a : ref.writes) touch_write(node, a);
+    for (const ArrayId a : ref.defines) touch_write(node, a);
+  }
+
+  int ref_version(int node, ArrayId a) const {
+    const auto& map = analysis_.ref_versions[static_cast<std::size_t>(node)];
+    const auto it = map.find(a);
+    HPFC_ASSERT_MSG(it != map.end(), "reference without a resolved version");
+    return it->second;
+  }
+
+  void touch_read(int node, ArrayId a) {
+    if (!program_.array(a).has_mapping) return;
+    ++report_.reads;
+    if (!parallel()) {
+      const auto& values = canonical_[static_cast<std::size_t>(a)];
+      for (std::size_t i = 0; i < values.size(); ++i)
+        report_.signature +=
+            static_cast<std::uint64_t>(values[i]) *
+            weight(static_cast<std::int64_t>(i));
+      return;
+    }
+    const int version = ref_version(node, a);
+    HPFC_ASSERT_MSG(status_[static_cast<std::size_t>(a)] == version,
+                    "runtime status disagrees with the static version");
+    allocate(a, version);
+    auto& vs =
+        storage_[static_cast<std::size_t>(a)][static_cast<std::size_t>(version)];
+    vs.live = true;
+    const ConcreteLayout& lay = layout(a, version);
+    const auto& shape = lay.array_shape();
+    for (int r = 0; r < lay.ranks(); ++r) {
+      // Primary owners only, so replicated elements count once.
+      const auto send_lists = lay.owned_index_lists(r, /*for_sending=*/true);
+      bool empty = send_lists.empty();
+      for (const auto& list : send_lists) empty = empty || list.empty();
+      if (empty && shape.rank() > 0) continue;
+      const auto full_lists = lay.owned_index_lists(r);
+      const auto& local = vs.locals[static_cast<std::size_t>(r)];
+      iterate_product(send_lists, [&](std::span<const Index> global) {
+        const Index pos =
+            ConcreteLayout::position_in_lists(full_lists, global);
+        HPFC_ASSERT(pos >= 0);
+        report_.signature +=
+            static_cast<std::uint64_t>(local[static_cast<std::size_t>(pos)]) *
+            weight(shape.linearize(global));
+      });
+    }
+  }
+
+  void touch_write(int node, ArrayId a) {
+    if (!program_.array(a).has_mapping) return;
+    ++report_.writes;
+    const std::uint64_t counter = ++write_counter_;
+    auto& values = canonical_[static_cast<std::size_t>(a)];
+    for (std::size_t i = 0; i < values.size(); ++i)
+      values[i] = stamped(counter, static_cast<std::int64_t>(i));
+    if (!parallel()) return;
+
+    const int version = ref_version(node, a);
+    HPFC_ASSERT_MSG(status_[static_cast<std::size_t>(a)] == version,
+                    "runtime status disagrees with the static version");
+    allocate(a, version);
+    auto& vs =
+        storage_[static_cast<std::size_t>(a)][static_cast<std::size_t>(version)];
+    vs.live = true;
+    const ConcreteLayout& lay = layout(a, version);
+    const auto& shape = lay.array_shape();
+    for (int r = 0; r < lay.ranks(); ++r) {
+      auto& local = vs.locals[static_cast<std::size_t>(r)];
+      lay.for_each_owned(r, [&](std::span<const Index> global, Index pos) {
+        local[static_cast<std::size_t>(pos)] =
+            stamped(counter, shape.linearize(global));
+      });
+    }
+  }
+
+  static void iterate_product(
+      const std::vector<std::vector<Index>>& lists,
+      const std::function<void(std::span<const Index>)>& fn) {
+    const int dims = static_cast<int>(lists.size());
+    mapping::Extent count = 1;
+    for (const auto& list : lists) count *= static_cast<mapping::Extent>(list.size());
+    if (count == 0) return;
+    std::vector<std::size_t> pos(static_cast<std::size_t>(dims), 0);
+    mapping::IndexVec global(static_cast<std::size_t>(dims), 0);
+    for (mapping::Extent e = 0; e < count; ++e) {
+      for (int d = 0; d < dims; ++d)
+        global[static_cast<std::size_t>(d)] =
+            lists[static_cast<std::size_t>(d)][pos[static_cast<std::size_t>(d)]];
+      fn(global);
+      for (int d = dims - 1; d >= 0; --d) {
+        auto& p = pos[static_cast<std::size_t>(d)];
+        if (++p < lists[static_cast<std::size_t>(d)].size()) break;
+        p = 0;
+      }
+    }
+  }
+
+  // ---- validation -------------------------------------------------------
+
+  /// Every live copy other than the current one must hold the canonical
+  /// values (the liveness invariant the optimizations rely on).
+  void check_liveness_invariant() const {
+    for (std::size_t a = 0; a < storage_.size(); ++a) {
+      for (std::size_t v = 0; v < storage_[a].size(); ++v) {
+        const auto& vs = storage_[a][v];
+        if (!vs.live || !vs.allocated) continue;
+        if (static_cast<int>(v) == status_[a]) continue;
+        verify_copy(static_cast<ArrayId>(a), static_cast<int>(v));
+      }
+    }
+  }
+
+  void verify_copy(ArrayId a, int version) const {
+    const auto& vs =
+        storage_[static_cast<std::size_t>(a)][static_cast<std::size_t>(version)];
+    const ConcreteLayout& lay = layout(a, version);
+    const auto& shape = lay.array_shape();
+    const auto& canonical = canonical_[static_cast<std::size_t>(a)];
+    for (int r = 0; r < lay.ranks(); ++r) {
+      const auto& local = vs.locals[static_cast<std::size_t>(r)];
+      lay.for_each_owned(r, [&](std::span<const Index> global, Index pos) {
+        const double expect =
+            canonical[static_cast<std::size_t>(shape.linearize(global))];
+        const double got = local[static_cast<std::size_t>(pos)];
+        HPFC_ASSERT_MSG(expect == got,
+                        "live copy " + program_.array(a).name + "_" +
+                            std::to_string(version) +
+                            " diverged from canonical values");
+      });
+    }
+  }
+
+  void check_exported(const ir::CfgNode& exit_node) {
+    (void)exit_node;
+    // The exit copy-back code has already run via at_node[exit]... it runs
+    // before this check in run() because Exit executes node ops first.
+    for (const ArrayId a : program_.mapped_arrays()) {
+      const auto& decl = program_.array(a);
+      if (!decl.is_dummy || decl.intent == ir::Intent::In) continue;
+      const auto& vs = storage_[static_cast<std::size_t>(a)][0];
+      if (!vs.allocated) {
+        report_.exported_values_ok = false;
+        continue;
+      }
+      const ConcreteLayout& lay = layout(a, 0);
+      const auto& shape = lay.array_shape();
+      const auto& canonical = canonical_[static_cast<std::size_t>(a)];
+      bool ok = true;
+      for (int r = 0; r < lay.ranks() && ok; ++r) {
+        const auto& local = vs.locals[static_cast<std::size_t>(r)];
+        lay.for_each_owned(r, [&](std::span<const Index> global, Index pos) {
+          const double expect =
+              canonical[static_cast<std::size_t>(shape.linearize(global))];
+          if (local[static_cast<std::size_t>(pos)] != expect) ok = false;
+        });
+      }
+      if (!ok) report_.exported_values_ok = false;
+    }
+  }
+
+  const ir::Program& program_;
+  const remap::Analysis& analysis_;
+  const codegen::RuntimeProgram* code_;
+  RunOptions options_;
+  std::mt19937 rng_;
+  net::SimNetwork net_;
+  RunReport report_;
+
+  std::vector<int> status_;
+  std::vector<std::vector<VersionStorage>> storage_;
+  std::vector<std::vector<double>> canonical_;
+  std::vector<int> saved_;
+  std::uint64_t write_counter_ = 0;
+  std::uint64_t bytes_in_use_ = 0;
+  std::map<std::uint64_t, redist::RedistPlan> plan_cache_;
+  std::map<std::uint64_t, std::vector<TransferProgram>> program_cache_;
+  std::map<ir::Region, int> region_ids_;
+};
+
+}  // namespace
+
+std::string RunReport::summary() const {
+  std::ostringstream os;
+  os << copies_performed << " copies (" << elements_copied << " elems), "
+     << skipped_already_mapped << " already-mapped, " << skipped_live_copy
+     << " live-reuse, " << net.summary();
+  return os.str();
+}
+
+RunReport run_parallel(const ir::Program& program,
+                       const remap::Analysis& analysis,
+                       const codegen::RuntimeProgram& code,
+                       const RunOptions& options) {
+  Machine machine(program, analysis, &code, options);
+  return machine.run();
+}
+
+RunReport run_oracle(const ir::Program& program,
+                     const remap::Analysis& analysis,
+                     const RunOptions& options) {
+  Machine machine(program, analysis, nullptr, options);
+  return machine.run();
+}
+
+}  // namespace hpfc::runtime

@@ -1,0 +1,75 @@
+// The runtime of §5: executes a compiled routine on the simulated
+// distributed-memory machine. Arrays are stored as statically mapped
+// versions (one block-cyclic local piece per rank); the generated guard
+// code (codegen::RuntimeProgram) manages the per-array status descriptor
+// and per-copy live flags; Copy ops run real redistribution communication
+// through net::SimNetwork.
+//
+// Execution is differential-testable: a sequential oracle executes the
+// same control-flow path against one canonical value array per abstract
+// array; read checksums (exact integer arithmetic, order-independent) must
+// be identical. Writes stamp deterministic values derived from a write
+// counter shared by construction between the two executions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "codegen/runtime_ops.hpp"
+#include "net/network.hpp"
+#include "remap/build.hpp"
+
+namespace hpfc::runtime {
+
+struct RunOptions {
+  /// Machine size; 0 = max processor-arrangement size used by the program.
+  int ranks = 0;
+  net::CostModel cost{};
+  /// Seed for branch decisions (if conditions). The same seed makes the
+  /// oracle and the parallel run follow the same path.
+  unsigned seed = 1;
+  /// Total distributed-memory budget in bytes; 0 = unlimited. When an
+  /// allocation would exceed it, the runtime evicts live non-current
+  /// copies (they are regenerated later with communication, §5.2).
+  std::uint64_t memory_limit = 0;
+  /// Validate, after every step, that every live non-current copy holds
+  /// the canonical values (the liveness invariant). Slow; for tests.
+  bool paranoid = false;
+};
+
+struct RunReport {
+  std::uint64_t signature = 0;  ///< order-independent read checksum
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  /// Remapping copies actually performed (communication happened).
+  int copies_performed = 0;
+  std::uint64_t elements_copied = 0;
+  /// Remap guards that found the array already mapped as required
+  /// (the paper's "inexpensive check of its status").
+  int skipped_already_mapped = 0;
+  /// Remap guards that found a live copy and reused it without
+  /// communication (the live-copy optimization paying off).
+  int skipped_live_copy = 0;
+  int allocations = 0;
+  int frees = 0;
+  int evictions = 0;
+  std::uint64_t peak_bytes = 0;
+  /// Exported dummy arguments held the canonical values at exit.
+  bool exported_values_ok = true;
+  net::NetStats net;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the compiled routine on the simulated machine.
+RunReport run_parallel(const ir::Program& program,
+                       const remap::Analysis& analysis,
+                       const codegen::RuntimeProgram& code,
+                       const RunOptions& options = {});
+
+/// Runs the sequential reference semantics (no distribution, no copies).
+RunReport run_oracle(const ir::Program& program,
+                     const remap::Analysis& analysis,
+                     const RunOptions& options = {});
+
+}  // namespace hpfc::runtime

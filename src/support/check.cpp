@@ -1,0 +1,16 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace hpfc {
+
+void assert_fail(const char* expr, std::source_location loc,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << expr << " at " << loc.file_name()
+     << ":" << loc.line();
+  if (!message.empty()) os << " — " << message;
+  throw InternalError(os.str());
+}
+
+}  // namespace hpfc

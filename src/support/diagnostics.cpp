@@ -1,0 +1,74 @@
+#include "support/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hpfc {
+
+std::string to_string(const SourceLoc& loc) {
+  if (!loc.known()) return "<unknown>";
+  std::ostringstream os;
+  os << loc.line << ":" << loc.column;
+  return os.str();
+}
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+const char* to_string(DiagId id) {
+  switch (id) {
+    case DiagId::ParseError: return "parse-error";
+    case DiagId::UnknownSymbol: return "unknown-symbol";
+    case DiagId::Redefinition: return "redefinition";
+    case DiagId::BadDirective: return "bad-directive";
+    case DiagId::AmbiguousReference: return "ambiguous-reference";
+    case DiagId::MultipleLeavingMappings: return "multiple-leaving-mappings";
+    case DiagId::MissingInterface: return "missing-interface";
+    case DiagId::TranscriptiveMapping: return "transcriptive-mapping";
+    case DiagId::BadArgumentCount: return "bad-argument-count";
+    case DiagId::BadMapping: return "bad-mapping";
+  }
+  return "?";
+}
+
+std::string to_string(const Diagnostic& diag) {
+  std::ostringstream os;
+  os << to_string(diag.severity) << "[" << to_string(diag.id) << "] at "
+     << to_string(diag.loc) << ": " << diag.message;
+  return os.str();
+}
+
+void DiagnosticEngine::report(Severity severity, DiagId id, SourceLoc loc,
+                              std::string message) {
+  if (severity == Severity::Error) ++error_count_;
+  diags_.push_back({severity, id, loc, std::move(message)});
+}
+
+bool DiagnosticEngine::has(DiagId id) const {
+  return find(id) != nullptr;
+}
+
+const Diagnostic* DiagnosticEngine::find(DiagId id) const {
+  const auto it = std::find_if(diags_.begin(), diags_.end(),
+                               [id](const Diagnostic& d) { return d.id == id; });
+  return it == diags_.end() ? nullptr : &*it;
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+std::string DiagnosticEngine::to_string() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << hpfc::to_string(d) << "\n";
+  return os.str();
+}
+
+}  // namespace hpfc

@@ -1,0 +1,97 @@
+// User-facing diagnostics: the compiler front half reports errors in the
+// input program (parse errors, unknown symbols, the paper's language-
+// restriction violations such as ambiguous-mapping references) through a
+// DiagnosticEngine rather than exceptions, so that callers can collect and
+// display several problems at once.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hpfc {
+
+/// A position in an HPF-lite source file (1-based; 0 means "unknown").
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] bool known() const { return line > 0; }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+std::string to_string(const SourceLoc& loc);
+
+enum class Severity { Note, Warning, Error };
+
+const char* to_string(Severity severity);
+
+/// Stable identifiers for the diagnostics the compiler can emit; tests match
+/// on these rather than on message wording.
+enum class DiagId {
+  ParseError,
+  UnknownSymbol,
+  Redefinition,
+  BadDirective,
+  // The paper's language restriction 1 (§2.1): a reference is reached by
+  // more than one mapping of the array (Figure 5).
+  AmbiguousReference,
+  // More than one mapping leaves a single remapping vertex for one array
+  // (Figure 21); outside the simplified scheme, rejected at code generation.
+  MultipleLeavingMappings,
+  // Restriction 2: a call site needs the callee's explicit interface.
+  MissingInterface,
+  // Restriction 3: transcriptive (inherited) dummy mappings are not allowed.
+  TranscriptiveMapping,
+  BadArgumentCount,
+  BadMapping,
+};
+
+const char* to_string(DiagId id);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  DiagId id = DiagId::ParseError;
+  SourceLoc loc;
+  std::string message;
+};
+
+std::string to_string(const Diagnostic& diag);
+
+/// Collects diagnostics for one compilation.
+class DiagnosticEngine {
+ public:
+  void report(Severity severity, DiagId id, SourceLoc loc,
+              std::string message);
+  void error(DiagId id, SourceLoc loc, std::string message) {
+    report(Severity::Error, id, loc, std::move(message));
+  }
+  void warning(DiagId id, SourceLoc loc, std::string message) {
+    report(Severity::Warning, id, loc, std::move(message));
+  }
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] int error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+  [[nodiscard]] bool has(DiagId id) const;
+
+  /// First diagnostic with the given id, or nullptr.
+  [[nodiscard]] const Diagnostic* find(DiagId id) const;
+
+  void clear();
+  std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  int error_count_ = 0;
+};
+
+/// Thrown by pipeline stages that cannot proceed after errors were reported.
+class CompilationAborted : public std::runtime_error {
+ public:
+  explicit CompilationAborted(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace hpfc

@@ -1,0 +1,32 @@
+// Small string helpers shared by printers and the HPF-lite front end.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpfc {
+
+/// Joins the elements of `items` with `sep`, using operator<< to render each.
+template <class Range>
+std::string join(const Range& items, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << sep;
+    first = false;
+    os << item;
+  }
+  return os.str();
+}
+
+std::vector<std::string> split(std::string_view text, char sep);
+std::string trim(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Renders a byte count as a human-friendly string ("1.5 KiB").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace hpfc

@@ -1,0 +1,177 @@
+// Alignment algebra (composition, validation) and distribution formats.
+#include <gtest/gtest.h>
+
+#include "mapping/align.hpp"
+#include "mapping/dist.hpp"
+#include "mapping/mapping.hpp"
+
+namespace hpfc::mapping {
+namespace {
+
+TEST(AlignTarget, ApplyIsAffine) {
+  const auto t = AlignTarget::axis(0, 3, 2);
+  EXPECT_EQ(t.apply(0), 2);
+  EXPECT_EQ(t.apply(5), 17);
+}
+
+TEST(Alignment, IdentityMapsEachDim) {
+  const auto a = Alignment::identity(3);
+  ASSERT_EQ(a.per_template_dim.size(), 3u);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(a.per_template_dim[static_cast<std::size_t>(d)].kind,
+              AlignTarget::Kind::Axis);
+    EXPECT_EQ(a.per_template_dim[static_cast<std::size_t>(d)].array_dim, d);
+  }
+}
+
+TEST(Alignment, ComposeIdentityIsNeutral) {
+  Alignment inner = Alignment::identity(2);
+  Alignment outer = Alignment::identity(2);
+  const Alignment composed = inner.compose_onto(outer);
+  EXPECT_EQ(composed, Alignment::identity(2));
+}
+
+TEST(Alignment, ComposeTransposeTwiceIsIdentity) {
+  Alignment transpose;
+  transpose.array_rank = 2;
+  transpose.per_template_dim = {AlignTarget::axis(1), AlignTarget::axis(0)};
+  const Alignment twice = transpose.compose_onto(transpose);
+  EXPECT_EQ(twice, Alignment::identity(2));
+}
+
+TEST(Alignment, ComposeAffineChains) {
+  // inner: B(i) -> A at 2i+1 ; outer: A(j) -> T at 3j+2.
+  Alignment inner;
+  inner.array_rank = 1;
+  inner.per_template_dim = {AlignTarget::axis(0, 2, 1)};
+  Alignment outer;
+  outer.array_rank = 1;
+  outer.per_template_dim = {AlignTarget::axis(0, 3, 2)};
+  const Alignment composed = inner.compose_onto(outer);
+  // t = 3*(2i+1)+2 = 6i+5.
+  ASSERT_EQ(composed.per_template_dim.size(), 1u);
+  EXPECT_EQ(composed.per_template_dim[0].stride, 6);
+  EXPECT_EQ(composed.per_template_dim[0].offset, 5);
+}
+
+TEST(Alignment, ComposePropagatesReplicationAndConstants) {
+  Alignment inner;
+  inner.array_rank = 1;
+  inner.per_template_dim = {AlignTarget::constant(4),
+                            AlignTarget::axis(0)};
+  Alignment outer;  // B rank 2 -> T rank 2 with swap
+  outer.array_rank = 2;
+  outer.per_template_dim = {AlignTarget::axis(1), AlignTarget::axis(0, 1, 3)};
+  const Alignment composed = inner.compose_onto(outer);
+  // T dim 0 <- B dim 1 = axis(0); T dim 1 <- B dim 0 + 3 = constant(7).
+  EXPECT_EQ(composed.per_template_dim[0].kind, AlignTarget::Kind::Axis);
+  EXPECT_EQ(composed.per_template_dim[0].array_dim, 0);
+  EXPECT_EQ(composed.per_template_dim[1].kind, AlignTarget::Kind::Constant);
+  EXPECT_EQ(composed.per_template_dim[1].offset, 7);
+}
+
+TEST(Alignment, ValidateRejectsDoubleUse) {
+  Alignment a;
+  a.array_rank = 1;
+  a.per_template_dim = {AlignTarget::axis(0), AlignTarget::axis(0)};
+  EXPECT_FALSE(a.validate(Shape{4}, Shape{4, 4}).empty());
+}
+
+TEST(Alignment, ValidateRejectsOutOfBoundsImage) {
+  Alignment a;
+  a.array_rank = 1;
+  a.per_template_dim = {AlignTarget::axis(0, 2, 0)};  // image up to 2*(n-1)
+  EXPECT_FALSE(a.validate(Shape{8}, Shape{8}).empty());
+  EXPECT_TRUE(a.validate(Shape{8}, Shape{15}).empty());
+}
+
+TEST(Alignment, ValidateRejectsZeroStride) {
+  Alignment a;
+  a.array_rank = 1;
+  a.per_template_dim = {AlignTarget::axis(0, 0, 0)};
+  EXPECT_FALSE(a.validate(Shape{4}, Shape{4}).empty());
+}
+
+TEST(DistFormat, DefaultsResolve) {
+  EXPECT_EQ(DistFormat::block().resolved_param(17, 4), 5);
+  EXPECT_EQ(DistFormat::block(3).resolved_param(12, 4), 3);
+  EXPECT_EQ(DistFormat::cyclic().resolved_param(17, 4), 1);
+  EXPECT_EQ(DistFormat::cyclic(6).resolved_param(17, 4), 6);
+}
+
+TEST(Distribution, ProcDimAssignmentSkipsCollapsed) {
+  Distribution d;
+  d.proc_shape = Shape{2, 3};
+  d.per_dim = {DistFormat::collapsed(), DistFormat::block(),
+               DistFormat::collapsed(), DistFormat::cyclic()};
+  EXPECT_FALSE(d.proc_dim_of(0).has_value());
+  EXPECT_EQ(d.proc_dim_of(1).value(), 0);
+  EXPECT_EQ(d.proc_dim_of(3).value(), 1);
+  EXPECT_TRUE(d.validate(Shape{4, 6, 4, 6}).empty());
+}
+
+TEST(Distribution, ValidateCatchesRankMismatch) {
+  Distribution d;
+  d.proc_shape = Shape{4};
+  d.per_dim = {DistFormat::block(), DistFormat::cyclic()};
+  EXPECT_FALSE(d.validate(Shape{8, 8}).empty());  // 2 distributed, rank-1 P
+}
+
+TEST(Distribution, ValidateCatchesTooSmallBlock) {
+  Distribution d;
+  d.proc_shape = Shape{4};
+  d.per_dim = {DistFormat::block(2)};
+  EXPECT_FALSE(d.validate(Shape{16}).empty());  // 2*4 < 16
+  d.per_dim = {DistFormat::block(4)};
+  EXPECT_TRUE(d.validate(Shape{16}).empty());
+}
+
+TEST(FullMapping, NormalizeTwoLevel) {
+  FullMapping fm;
+  fm.template_id = 0;
+  fm.template_shape = Shape{16};
+  fm.align = Alignment::identity(1);
+  fm.dist.proc_shape = Shape{4};
+  fm.dist.per_dim = {DistFormat::block()};
+  const ConcreteLayout lay = fm.normalize(Shape{16});
+  EXPECT_EQ(lay.ranks(), 4);
+  EXPECT_EQ(lay.owners()[0].format.param, 4);
+}
+
+TEST(FullMapping, CollapsedTemplateDimDoesNotConstrain) {
+  FullMapping fm;
+  fm.template_id = 0;
+  fm.template_shape = Shape{8, 8};
+  fm.align = Alignment::identity(2);
+  fm.dist.proc_shape = Shape{4};
+  fm.dist.per_dim = {DistFormat::block(), DistFormat::collapsed()};
+  const ConcreteLayout lay = fm.normalize(Shape{8, 8});
+  // Row-distributed only: rank r owns rows [2r, 2r+2) x all columns.
+  EXPECT_EQ(lay.local_count(0), 16);
+}
+
+TEST(VersionTable, InternsByPlacementEquality) {
+  VersionTable table;
+  FullMapping fm;
+  fm.template_id = 0;
+  fm.template_shape = Shape{16};
+  fm.align = Alignment::identity(1);
+  fm.dist.proc_shape = Shape{4};
+  fm.dist.per_dim = {DistFormat::block()};
+  const int v0 = table.intern(fm.normalize(Shape{16}), fm);
+  EXPECT_EQ(v0, 0);
+
+  // cyclic(4) over 4 procs of 16 = block(4): same placement, same version.
+  FullMapping fm2 = fm;
+  fm2.dist.per_dim = {DistFormat::cyclic(4)};
+  EXPECT_EQ(table.intern(fm2.normalize(Shape{16}), fm2), 0);
+
+  FullMapping fm3 = fm;
+  fm3.dist.per_dim = {DistFormat::cyclic()};
+  EXPECT_EQ(table.intern(fm3.normalize(Shape{16}), fm3), 1);
+  EXPECT_EQ(table.size(), 2);
+  EXPECT_EQ(table.find(fm3.normalize(Shape{16})), 1);
+}
+
+}  // namespace
+}  // namespace hpfc::mapping

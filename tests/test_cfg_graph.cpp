@@ -1,0 +1,304 @@
+// CFG construction (structure, call expansion, loop shapes, RPO) and
+// remapping-graph construction details (version numbering, labels, edges,
+// effects summarization).
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hpp"
+#include "hpf/builder.hpp"
+#include "ir/cfg.hpp"
+#include "remap/build.hpp"
+
+namespace hpfc {
+namespace {
+
+using hpf::ProgramBuilder;
+using mapping::Alignment;
+using mapping::DistFormat;
+using mapping::Shape;
+
+ir::Program straight_line() {
+  ProgramBuilder b("straight");
+  b.procs("P", Shape{4});
+  b.array("A", Shape{16});
+  b.distribute_array("A", {DistFormat::block()}, "P");
+  b.use({"A"});
+  b.def({"A"});
+  DiagnosticEngine diags;
+  return b.finish(diags);
+}
+
+TEST(Cfg, StraightLineChain) {
+  const ir::Program program = straight_line();
+  const ir::Cfg cfg = ir::Cfg::build(program);
+  // entry, 2 statements, exit.
+  EXPECT_EQ(cfg.size(), 4);
+  EXPECT_EQ(cfg.node(cfg.entry()).succs.size(), 1u);
+  EXPECT_EQ(cfg.node(cfg.exit()).preds.size(), 1u);
+  // RPO starts at entry and ends at exit.
+  EXPECT_EQ(cfg.rpo().front(), cfg.entry());
+  EXPECT_EQ(cfg.rpo().back(), cfg.exit());
+}
+
+TEST(Cfg, IfCreatesBranchAndJoin) {
+  ProgramBuilder b("iffy");
+  b.procs("P", Shape{4});
+  b.array("A", Shape{16});
+  b.distribute_array("A", {DistFormat::block()}, "P");
+  b.begin_if({"A"});
+  b.use({"A"});
+  b.begin_else();
+  b.def({"A"});
+  b.end_if();
+  DiagnosticEngine diags;
+  const ir::Program program = b.finish(diags);
+  const ir::Cfg cfg = ir::Cfg::build(program);
+
+  int branches = 0;
+  int joins = 0;
+  for (const auto& n : cfg.nodes()) {
+    if (n.kind == ir::CfgKind::Branch) {
+      ++branches;
+      EXPECT_EQ(n.succs.size(), 2u);
+    }
+    if (n.kind == ir::CfgKind::Join) {
+      ++joins;
+      EXPECT_EQ(n.preds.size(), 2u);
+    }
+  }
+  EXPECT_EQ(branches, 1);
+  EXPECT_EQ(joins, 1);
+}
+
+TEST(Cfg, EmptyElseStillJoins) {
+  ProgramBuilder b("halfif");
+  b.procs("P", Shape{4});
+  b.array("A", Shape{16});
+  b.distribute_array("A", {DistFormat::block()}, "P");
+  b.begin_if();
+  b.use({"A"});
+  b.end_if();
+  DiagnosticEngine diags;
+  const ir::Program program = b.finish(diags);
+  const ir::Cfg cfg = ir::Cfg::build(program);
+  for (const auto& n : cfg.nodes())
+    if (n.kind == ir::CfgKind::Join) EXPECT_EQ(n.preds.size(), 2u);
+}
+
+TEST(Cfg, ZeroTripLoopHasBypassEdge) {
+  ProgramBuilder b("loopy");
+  b.procs("P", Shape{4});
+  b.array("A", Shape{16});
+  b.distribute_array("A", {DistFormat::block()}, "P");
+  b.begin_loop(3, /*may_zero_trip=*/true);
+  b.use({"A"});
+  b.end_loop();
+  DiagnosticEngine diags;
+  const ir::Program program = b.finish(diags);
+  const ir::Cfg cfg = ir::Cfg::build(program);
+  for (const auto& n : cfg.nodes()) {
+    if (n.kind == ir::CfgKind::LoopHead) {
+      // body + exit successors; body-end predecessor + incoming edge.
+      EXPECT_EQ(n.succs.size(), 2u);
+      EXPECT_EQ(n.preds.size(), 2u);
+    }
+    EXPECT_NE(n.kind, ir::CfgKind::LoopLatch);
+  }
+}
+
+TEST(Cfg, NonZeroTripLoopUsesLatch) {
+  ProgramBuilder b("loopy");
+  b.procs("P", Shape{4});
+  b.array("A", Shape{16});
+  b.distribute_array("A", {DistFormat::block()}, "P");
+  b.begin_loop(3, /*may_zero_trip=*/false);
+  b.use({"A"});
+  b.end_loop();
+  DiagnosticEngine diags;
+  const ir::Program program = b.finish(diags);
+  const ir::Cfg cfg = ir::Cfg::build(program);
+  bool saw_latch = false;
+  for (const auto& n : cfg.nodes()) {
+    if (n.kind == ir::CfgKind::LoopHead) EXPECT_EQ(n.succs.size(), 1u);
+    if (n.kind == ir::CfgKind::LoopLatch) {
+      saw_latch = true;
+      EXPECT_EQ(n.succs.size(), 2u);  // back edge + exit
+    }
+  }
+  EXPECT_TRUE(saw_latch);
+}
+
+TEST(Cfg, CallExpandsToThreeNodes) {
+  ProgramBuilder b("calls");
+  b.procs("P", Shape{4});
+  b.array("A", Shape{16});
+  b.distribute_array("A", {DistFormat::block()}, "P");
+  b.interface("foo");
+  b.interface_dummy("X", Shape{16}, ir::Intent::In, {DistFormat::cyclic()},
+                    "P");
+  b.call("foo", {"A"});
+  DiagnosticEngine diags;
+  const ir::Program program = b.finish(diags);
+  const ir::Cfg cfg = ir::Cfg::build(program);
+  int pre = -1;
+  int call = -1;
+  int post = -1;
+  for (const auto& n : cfg.nodes()) {
+    if (n.kind == ir::CfgKind::CallPre) pre = n.id;
+    if (n.kind == ir::CfgKind::Call) call = n.id;
+    if (n.kind == ir::CfgKind::CallPost) post = n.id;
+  }
+  ASSERT_GE(pre, 0);
+  // The chain has consecutive ids (the analysis relies on it).
+  EXPECT_EQ(call, pre + 1);
+  EXPECT_EQ(post, pre + 2);
+}
+
+TEST(Cfg, RpoVisitsPredecessorsFirstOnDags) {
+  const ir::Program program = straight_line();
+  const ir::Cfg cfg = ir::Cfg::build(program);
+  std::vector<int> position(static_cast<std::size_t>(cfg.size()), -1);
+  for (std::size_t i = 0; i < cfg.rpo().size(); ++i)
+    position[static_cast<std::size_t>(cfg.rpo()[i])] = static_cast<int>(i);
+  for (const auto& n : cfg.nodes())
+    for (const int s : n.succs)
+      if (position[static_cast<std::size_t>(s)] <
+          position[static_cast<std::size_t>(n.id)]) {
+        // Only back edges may violate the order; straight line has none.
+        ADD_FAILURE() << "rpo order violated on edge " << n.id << "->" << s;
+      }
+}
+
+// ---- graph construction details ---------------------------------------
+
+TEST(RemapGraph, VersionZeroIsTheInitialMapping) {
+  ProgramBuilder b("versions");
+  b.procs("P", Shape{4});
+  b.array("A", Shape{16});
+  b.distribute_array("A", {DistFormat::block()}, "P");
+  b.use({"A"});
+  b.redistribute("A", {DistFormat::cyclic()}, "", "1");
+  b.use({"A"});
+  b.redistribute("A", {DistFormat::block()}, "", "2");
+  b.use({"A"});
+  DiagnosticEngine diags;
+  const ir::Program program = b.finish(diags);
+  remap::Analysis analysis = remap::analyze(program, diags);
+  ASSERT_TRUE(analysis.ok);
+  const ir::ArrayId a = program.find_array("A");
+  // Two placements only: block (0) and cyclic (1); the second
+  // redistribute returns to version 0.
+  EXPECT_EQ(analysis.version_count(a), 2);
+  const auto& v2 = analysis.graph.vertices();
+  bool found = false;
+  for (const auto& v : v2) {
+    if (v.name != "2") continue;
+    found = true;
+    EXPECT_EQ(v.arrays.at(a).leaving, (std::vector<int>{0}));
+    EXPECT_EQ(v.arrays.at(a).reaching, (std::vector<int>{1}));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RemapGraph, TrivialRedistributeIsNotARemapping) {
+  ProgramBuilder b("trivial");
+  b.procs("P", Shape{4});
+  b.array("A", Shape{16});
+  b.distribute_array("A", {DistFormat::block()}, "P");
+  b.use({"A"});
+  // Redistribute to the mapping the array already has.
+  b.redistribute("A", {DistFormat::block()}, "", "1");
+  b.use({"A"});
+  DiagnosticEngine diags;
+  const ir::Program program = b.finish(diags);
+  remap::Analysis analysis = remap::analyze(program, diags);
+  ASSERT_TRUE(analysis.ok);
+  const ir::ArrayId a = program.find_array("A");
+  EXPECT_EQ(analysis.version_count(a), 1);
+  for (const auto& v : analysis.graph.vertices())
+    if (v.name == "1") EXPECT_TRUE(v.arrays.empty());
+}
+
+TEST(RemapGraph, EdgeLabelsAreRestrictedToRemappedArrays) {
+  ProgramBuilder b("labels");
+  b.procs("P", Shape{4});
+  b.tmpl("T", Shape{16});
+  b.distribute_template("T", {DistFormat::block()}, "P");
+  b.array("A", Shape{16});
+  b.align("A", "T", Alignment::identity(1));
+  b.array("B", Shape{16});
+  b.distribute_array("B", {DistFormat::block()}, "P");
+  b.use({"A", "B"});
+  b.redistribute("T", {DistFormat::cyclic()}, "", "1");  // remaps A only
+  b.use({"A", "B"});
+  b.redistribute("B", {DistFormat::cyclic()}, "", "2");  // remaps B only
+  b.use({"A", "B"});
+  DiagnosticEngine diags;
+  const ir::Program program = b.finish(diags);
+  remap::Analysis analysis = remap::analyze(program, diags);
+  ASSERT_TRUE(analysis.ok);
+  const ir::ArrayId a = program.find_array("A");
+  const ir::ArrayId bb = program.find_array("B");
+  for (const auto& edge : analysis.graph.edges()) {
+    const auto& from = analysis.graph.vertex(edge.from);
+    for (const ir::ArrayId arr : edge.arrays) {
+      if (from.name == "1") EXPECT_EQ(arr, a);
+      if (from.name == "2") EXPECT_EQ(arr, bb);
+    }
+  }
+}
+
+TEST(RemapGraph, BranchConditionsCountAsReads) {
+  // Figure 10 relies on "if (B read)": the condition read keeps B's copy.
+  ProgramBuilder b("cond");
+  b.procs("P", Shape{4});
+  b.array("B", Shape{16});
+  b.distribute_array("B", {DistFormat::block()}, "P");
+  b.def({"B"});
+  b.redistribute("B", {DistFormat::cyclic()}, "", "1");
+  b.begin_if({"B"});  // only the condition reads B
+  b.end_if();
+  DiagnosticEngine diags;
+  const ir::Program program = b.finish(diags);
+  remap::Analysis analysis = remap::analyze(program, diags);
+  ASSERT_TRUE(analysis.ok);
+  const ir::ArrayId bb = program.find_array("B");
+  for (const auto& v : analysis.graph.vertices())
+    if (v.name == "1") EXPECT_EQ(v.arrays.at(bb).use.letter(), 'R');
+}
+
+TEST(RemapGraph, RealignOntoUndistributedTemplateIsAnError) {
+  ProgramBuilder b("nodist");
+  b.procs("P", Shape{4});
+  b.tmpl("T", Shape{16});  // never distributed
+  b.array("A", Shape{16});
+  b.distribute_array("A", {DistFormat::block()}, "P");
+  b.realign("A", "T", Alignment::identity(1));
+  b.use({"A"});
+  DiagnosticEngine diags;
+  const ir::Program program = b.finish(diags);
+  const remap::Analysis analysis = remap::analyze(program, diags);
+  EXPECT_FALSE(analysis.ok);
+  EXPECT_TRUE(diags.has(DiagId::BadMapping));
+}
+
+TEST(RemapGraph, DotAndTextRenderings) {
+  ProgramBuilder b("render");
+  b.procs("P", Shape{4});
+  b.array("A", Shape{16});
+  b.distribute_array("A", {DistFormat::block()}, "P");
+  b.use({"A"});
+  b.redistribute("A", {DistFormat::cyclic()}, "", "1");
+  b.use({"A"});
+  DiagnosticEngine diags;
+  const ir::Program program = b.finish(diags);
+  remap::Analysis analysis = remap::analyze(program, diags);
+  ASSERT_TRUE(analysis.ok);
+  const std::string text = analysis.graph.to_text(program);
+  EXPECT_NE(text.find("A {0} -R-> {1}"), std::string::npos) << text;
+  const std::string dot = analysis.graph.to_dot(program);
+  EXPECT_NE(dot.find("digraph G_R"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpfc

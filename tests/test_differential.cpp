@@ -1,0 +1,197 @@
+// Differential and property-based testing over random programs: for any
+// accepted program, the parallel execution at every optimization level
+// must equal the sequential oracle, communication must not increase with
+// the optimization level, Theorem 1 must hold, and the liveness invariant
+// must survive paranoid checking.
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hpp"
+#include "opt/passes.hpp"
+#include "testing/program_gen.hpp"
+
+namespace hpfc {
+namespace {
+
+using driver::Compiled;
+using driver::CompileOptions;
+using driver::OptLevel;
+
+ir::Program clone_via_generator(unsigned seed, const testing::GenConfig& base) {
+  testing::GenConfig config = base;
+  config.seed = seed;
+  return testing::generate(config);
+}
+
+class RandomPrograms : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomPrograms, AllLevelsMatchTheOracle) {
+  testing::GenConfig config;
+  config.seed = GetParam();
+  auto accepted = testing::generate_compilable(config);
+  ASSERT_TRUE(accepted.has_value()) << "no compilable program found";
+  const unsigned seed = accepted->second;
+
+  runtime::RunOptions run_options;
+  run_options.seed = 123 + GetParam();
+  run_options.paranoid = true;
+
+  std::uint64_t oracle_signature = 0;
+  bool have_oracle = false;
+  std::uint64_t previous_bytes = 0;
+  int previous_copies = 0;
+  bool first_level = true;
+
+  for (const OptLevel level : {OptLevel::O0, OptLevel::O1, OptLevel::O2}) {
+    DiagnosticEngine diags;
+    CompileOptions options;
+    options.level = level;
+    options.validate_theorem1 = true;
+    Compiled compiled = driver::compile(
+        clone_via_generator(seed, config), options, diags);
+    ASSERT_TRUE(compiled.ok) << driver::to_string(level) << "\n"
+                             << diags.to_string();
+    EXPECT_TRUE(compiled.opt_report.theorem1_holds);
+
+    const auto oracle = driver::run_oracle(compiled, run_options);
+    const auto parallel = driver::run(compiled, run_options);
+    if (!have_oracle) {
+      oracle_signature = oracle.signature;
+      have_oracle = true;
+    }
+    // The oracle is the same at every level (same program semantics) and
+    // the parallel run must match it.
+    EXPECT_EQ(oracle.signature, oracle_signature);
+    EXPECT_EQ(parallel.signature, oracle.signature)
+        << "level " << driver::to_string(level) << " diverged (seed " << seed
+        << ")";
+    EXPECT_TRUE(parallel.exported_values_ok);
+
+    if (!first_level) {
+      EXPECT_LE(parallel.copies_performed, previous_copies)
+          << "optimization increased copies at " << driver::to_string(level);
+      EXPECT_LE(parallel.net.bytes, previous_bytes)
+          << "optimization increased traffic at " << driver::to_string(level);
+    }
+    previous_copies = parallel.copies_performed;
+    previous_bytes = parallel.net.bytes;
+    first_level = false;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
+                         ::testing::Range(1u, 41u, 1u));
+
+TEST(RandomPrograms, AcceptanceRateIsReasonable) {
+  int accepted = 0;
+  const int total = 60;
+  for (unsigned seed = 1000; seed < 1000 + total; ++seed) {
+    testing::GenConfig config;
+    config.seed = seed;
+    ir::Program program = testing::generate(config);
+    DiagnosticEngine diags;
+    if (remap::analyze(program, diags).ok) ++accepted;
+  }
+  // Rejection sampling must not degenerate: enough random programs are
+  // unambiguous (empirically ~1 in 6; branch-local remappings followed by
+  // merged references account for most rejections).
+  EXPECT_GT(accepted, total / 12);
+}
+
+// Reaching recomputation is the identity when nothing was removed.
+TEST(AppendixC, RecomputationIsIdentityWithoutRemovals) {
+  for (unsigned seed = 1; seed <= 10; ++seed) {
+    testing::GenConfig config;
+    config.seed = seed;
+    auto accepted = testing::generate_compilable(config);
+    ASSERT_TRUE(accepted.has_value());
+
+    DiagnosticEngine diags;
+    remap::Analysis analysis = remap::analyze(accepted->first, diags);
+    ASSERT_TRUE(analysis.ok);
+
+    // Snapshot reaching sets, force all labels to look used, re-run the
+    // pass: reaching sets must be reproduced exactly.
+    std::vector<std::vector<int>> before;
+    for (auto& v : analysis.graph.vertices())
+      for (auto& [a, label] : v.arrays) {
+        (void)a;
+        before.push_back(label.reaching);
+        if (label.use.is_none()) label.use = ir::Use::read();
+      }
+    opt::OptReport report;
+    opt::remove_useless_remappings(analysis, report);
+    EXPECT_EQ(report.removed_remappings, 0);
+
+    std::size_t i = 0;
+    for (const auto& v : analysis.graph.vertices())
+      for (const auto& [a, label] : v.arrays) {
+        (void)a;
+        EXPECT_EQ(label.reaching, before[i]) << "seed " << seed;
+        ++i;
+      }
+  }
+}
+
+// Appendix D: maybe-live sets always contain the kept leaving copies and
+// only grow along read-only edges.
+TEST(AppendixD, MaybeLiveContainsLeaving) {
+  for (unsigned seed = 1; seed <= 10; ++seed) {
+    testing::GenConfig config;
+    config.seed = seed;
+    auto accepted = testing::generate_compilable(config);
+    ASSERT_TRUE(accepted.has_value());
+    DiagnosticEngine diags;
+    remap::Analysis analysis = remap::analyze(accepted->first, diags);
+    ASSERT_TRUE(analysis.ok);
+    opt::OptReport report;
+    opt::remove_useless_remappings(analysis, report);
+    opt::compute_maybe_live(analysis);
+    for (const auto& v : analysis.graph.vertices()) {
+      for (const auto& [a, label] : v.arrays) {
+        (void)a;
+        if (label.removed || label.leaving.empty()) continue;
+        for (const int ver : label.leaving) {
+          EXPECT_NE(std::find(label.maybe_live.begin(),
+                              label.maybe_live.end(), ver),
+                    label.maybe_live.end());
+        }
+      }
+    }
+  }
+}
+
+// Memory pressure: with a tight limit the runtime evicts live copies and
+// regenerates them later; results stay correct.
+TEST(MemoryPressure, EvictionPreservesSemantics) {
+  testing::GenConfig config;
+  config.seed = 3;
+  auto accepted = testing::generate_compilable(config);
+  ASSERT_TRUE(accepted.has_value());
+
+  DiagnosticEngine diags;
+  CompileOptions options;
+  options.level = OptLevel::O2;
+  Compiled compiled = driver::compile(std::move(accepted->first), options,
+                                      diags);
+  ASSERT_TRUE(compiled.ok);
+
+  runtime::RunOptions run_options;
+  run_options.seed = 99;
+  const auto unlimited = driver::run(compiled, run_options);
+  const auto oracle = driver::run_oracle(compiled, run_options);
+  ASSERT_EQ(unlimited.signature, oracle.signature);
+
+  // Clamp memory to just above the peak of a single copy: forces
+  // evictions.
+  runtime::RunOptions tight = run_options;
+  tight.memory_limit = unlimited.peak_bytes / 2 + 1024;
+  const auto squeezed = driver::run(compiled, tight);
+  EXPECT_EQ(squeezed.signature, oracle.signature);
+  EXPECT_TRUE(squeezed.exported_values_ok);
+  EXPECT_LE(squeezed.peak_bytes, unlimited.peak_bytes);
+  // Squeezing may cost extra communication but never correctness.
+  EXPECT_GE(squeezed.copies_performed, unlimited.copies_performed);
+}
+
+}  // namespace
+}  // namespace hpfc

@@ -1,0 +1,116 @@
+// SimNetwork delivery/accounting and the use-qualifier lattice of §3.1.
+#include <gtest/gtest.h>
+
+#include "ir/effects.hpp"
+#include "net/network.hpp"
+#include "support/check.hpp"
+
+namespace hpfc {
+namespace {
+
+TEST(SimNetwork, DeliversMessagesToDestinations) {
+  net::SimNetwork netw(4);
+  std::vector<std::vector<net::Message>> out(4);
+  out[0].push_back({0, 3, 7, {1.0, 2.0}});
+  out[2].push_back({2, 0, 1, {5.0}});
+  const auto in = netw.exchange(std::move(out));
+  ASSERT_EQ(in[3].size(), 1u);
+  EXPECT_EQ(in[3][0].payload, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(in[3][0].tag, 7);
+  ASSERT_EQ(in[0].size(), 1u);
+  EXPECT_EQ(in[0][0].src, 2);
+  EXPECT_TRUE(in[1].empty());
+}
+
+TEST(SimNetwork, CountsRemoteAndLocalSeparately) {
+  net::SimNetwork netw(2);
+  std::vector<std::vector<net::Message>> out(2);
+  out[0].push_back({0, 1, 0, {1.0, 2.0, 3.0}});
+  out[1].push_back({1, 1, 0, {4.0}});
+  netw.exchange(std::move(out));
+  EXPECT_EQ(netw.stats().messages, 1u);
+  EXPECT_EQ(netw.stats().bytes, 3 * sizeof(double));
+  EXPECT_EQ(netw.stats().local_copies, 1u);
+  EXPECT_EQ(netw.stats().local_bytes, sizeof(double));
+  EXPECT_EQ(netw.stats().supersteps, 1u);
+}
+
+TEST(SimNetwork, ClockChargesBusiestRank) {
+  net::CostModel cost{1.0, 0.0};  // 1 second per message, free bytes
+  net::SimNetwork netw(3, cost);
+  std::vector<std::vector<net::Message>> out(3);
+  // Rank 0 sends 2 messages; rank 1 receives 1; rank 2 receives 1.
+  out[0].push_back({0, 1, 0, {1.0}});
+  out[0].push_back({0, 2, 0, {1.0}});
+  netw.exchange(std::move(out));
+  // Rank 0 is busiest: 2 messages.
+  EXPECT_DOUBLE_EQ(netw.stats().sim_time, 2.0);
+}
+
+TEST(SimNetwork, DeterministicReceiveOrder) {
+  net::SimNetwork netw(3);
+  std::vector<std::vector<net::Message>> out(3);
+  out[2].push_back({2, 0, 20, {1.0}});
+  out[1].push_back({1, 0, 10, {1.0}});
+  const auto in = netw.exchange(std::move(out));
+  ASSERT_EQ(in[0].size(), 2u);
+  EXPECT_EQ(in[0][0].src, 1);  // by source rank
+  EXPECT_EQ(in[0][1].src, 2);
+}
+
+TEST(SimNetwork, RejectsMismatchedSource) {
+  net::SimNetwork netw(2);
+  std::vector<std::vector<net::Message>> out(2);
+  out[0].push_back({1, 0, 0, {}});
+  EXPECT_THROW(netw.exchange(std::move(out)), InternalError);
+}
+
+// ---- use-qualifier lattice --------------------------------------------
+
+using ir::Use;
+
+TEST(UseLattice, Letters) {
+  EXPECT_EQ(Use::none().letter(), 'N');
+  EXPECT_EQ(Use::full_def().letter(), 'D');
+  EXPECT_EQ(Use::read().letter(), 'R');
+  EXPECT_EQ(Use::write().letter(), 'W');
+}
+
+TEST(UseLattice, MergeIsComponentwiseOr) {
+  EXPECT_EQ(Use::none().merge(Use::read()), Use::read());
+  // D merged with R: values needed on one path, clobbered on the other ->
+  // must both transfer and invalidate = W. (More precise than the paper's
+  // linear order which would say R.)
+  EXPECT_EQ(Use::full_def().merge(Use::read()), Use::write());
+  EXPECT_EQ(Use::write().merge(Use::none()), Use::write());
+}
+
+TEST(UseLattice, SequentialComposition) {
+  // Full redefinition screens later uses: they see new values.
+  EXPECT_EQ(Use::full_def().then(Use::read()), Use::full_def());
+  EXPECT_EQ(Use::full_def().then(Use::write()), Use::full_def());
+  // A read followed by a full redefinition still needs the values.
+  EXPECT_EQ(Use::read().then(Use::full_def()), Use::write());
+  EXPECT_EQ(Use::none().then(Use::read()), Use::read());
+  EXPECT_EQ(Use::read().then(Use::none()), Use::read());
+  EXPECT_EQ(Use::write().then(Use::none()), Use::write());
+}
+
+TEST(UseLattice, MergeMaps) {
+  ir::EffectMap a{{0, Use::read()}};
+  ir::EffectMap b{{0, Use::full_def()}, {1, Use::read()}};
+  const auto m = ir::merge(a, b);
+  EXPECT_EQ(m.at(0), Use::write());
+  EXPECT_EQ(m.at(1), Use::read());
+}
+
+TEST(UseLattice, ThenMaps) {
+  ir::EffectMap first{{0, Use::full_def()}};
+  ir::EffectMap after{{0, Use::read()}, {1, Use::write()}};
+  const auto m = ir::then(first, after);
+  EXPECT_EQ(m.at(0), Use::full_def());
+  EXPECT_EQ(m.at(1), Use::write());
+}
+
+}  // namespace
+}  // namespace hpfc

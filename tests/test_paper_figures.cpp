@@ -1,0 +1,365 @@
+// Every worked example of the paper, encoded and checked against the
+// outcome the paper documents for it (see DESIGN.md §4 for the index).
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hpp"
+#include "hpf/builder.hpp"
+
+namespace hpfc {
+namespace {
+
+using driver::Compiled;
+using driver::CompileOptions;
+using driver::OptLevel;
+using hpf::ProgramBuilder;
+using mapping::Alignment;
+using mapping::AlignTarget;
+using mapping::DistFormat;
+using mapping::Shape;
+
+Compiled compile_level(ProgramBuilder& b, OptLevel level,
+                       bool expect_ok = true) {
+  DiagnosticEngine diags;
+  CompileOptions options;
+  options.level = level;
+  options.validate_theorem1 = true;
+  Compiled compiled = driver::compile(b.finish(diags), options, diags);
+  if (expect_ok) {
+    EXPECT_TRUE(compiled.ok) << diags.to_string();
+    EXPECT_TRUE(compiled.opt_report.theorem1_holds);
+  }
+  return compiled;
+}
+
+const remap::RemapVertex* find_vertex(const Compiled& c,
+                                      const std::string& name) {
+  for (const auto& v : c.analysis.graph.vertices())
+    if (v.name == name) return &v;
+  return nullptr;
+}
+
+const remap::ArrayLabel* label_of(const Compiled& c, const std::string& vertex,
+                                  const std::string& array) {
+  const auto* v = find_vertex(c, vertex);
+  if (v == nullptr) return nullptr;
+  const ir::ArrayId a = c.program.find_array(array);
+  const auto it = v->arrays.find(a);
+  return it == v->arrays.end() ? nullptr : &it->second;
+}
+
+/// Oracle and parallel run must agree; returns the parallel report.
+runtime::RunReport run_checked(const Compiled& c, unsigned seed = 7) {
+  runtime::RunOptions options;
+  options.seed = seed;
+  options.paranoid = true;
+  const auto oracle = driver::run_oracle(c, options);
+  const auto parallel = driver::run(c, options);
+  EXPECT_EQ(oracle.signature, parallel.signature);
+  EXPECT_TRUE(parallel.exported_values_ok);
+  return parallel;
+}
+
+// ---------------------------------------------------------------- Figure 1
+// realign A with B(j,i) followed by redistribute B: two remappings of A
+// when A is used in between, but a single *direct* remapping once the
+// intermediate mapping is unused (the motivation of §1.1).
+ProgramBuilder figure1(bool use_between) {
+  ProgramBuilder b("fig1");
+  b.procs("P", Shape{4});
+  b.array("B", Shape{16, 16});
+  b.distribute_array("B", {DistFormat::block(), DistFormat::collapsed()},
+                     "P");
+  b.array("A", Shape{16, 16});
+  b.align_with_array("A", "B");
+  b.use({"A", "B"});
+  Alignment transpose;
+  transpose.per_template_dim = {AlignTarget::axis(1), AlignTarget::axis(0)};
+  b.realign_with_array("A", "B", transpose, "1");
+  if (use_between) b.use({"A"});
+  b.redistribute("B", {DistFormat::cyclic(), DistFormat::collapsed()}, "",
+                 "2");
+  b.use({"A", "B"});
+  return b;
+}
+
+TEST(Fig01, TwoRemappingsWhenIntermediateIsUsed) {
+  ProgramBuilder b = figure1(/*use_between=*/true);
+  const Compiled c = compile_level(b, OptLevel::O2);
+  // A goes through three placements: initial, transposed-block,
+  // transposed-cyclic.
+  EXPECT_EQ(c.analysis.version_count(c.program.find_array("A")), 3);
+  const auto report = run_checked(c);
+  // Copies: A 0->1, A 1->2, B 0->1.
+  EXPECT_EQ(report.copies_performed, 3);
+}
+
+TEST(Fig01, DirectRemappingWhenIntermediateIsDead) {
+  ProgramBuilder b = figure1(/*use_between=*/false);
+  const Compiled c = compile_level(b, OptLevel::O2);
+  // The realign's copy is useless (U = N): removed; the redistribute's
+  // reaching set is recomputed to the initial version -> direct remapping.
+  const auto* l1 = label_of(c, "1", "A");
+  ASSERT_NE(l1, nullptr);
+  EXPECT_TRUE(l1->removed);
+  const auto* l2 = label_of(c, "2", "A");
+  ASSERT_NE(l2, nullptr);
+  EXPECT_EQ(l2->reaching, (std::vector<int>{0}));
+  const auto report = run_checked(c);
+  EXPECT_EQ(report.copies_performed, 2);  // A 0->2 direct, B 0->1
+
+  // The naive translation performs all three copies.
+  ProgramBuilder b0 = figure1(/*use_between=*/false);
+  const Compiled c0 = compile_level(b0, OptLevel::O0);
+  const auto report0 = run_checked(c0);
+  EXPECT_EQ(report0.copies_performed, 3);
+}
+
+// ---------------------------------------------------------------- Figure 2
+// realign C with B(j,i), then a redistribute of B that restores C's
+// initial placement: both C remappings are useless.
+TEST(Fig02, RestoredMappingMakesBothRemappingsUseless) {
+  ProgramBuilder b("fig2");
+  b.procs("P", Shape{4});
+  b.array("B", Shape{16, 16});
+  b.distribute_array("B", {DistFormat::block(), DistFormat::collapsed()},
+                     "P");
+  b.array("C", Shape{16, 16});
+  b.align_with_array("C", "B");
+  b.use({"C"});
+  Alignment transpose;
+  transpose.per_template_dim = {AlignTarget::axis(1), AlignTarget::axis(0)};
+  b.realign_with_array("C", "B", transpose, "1");
+  // (block,*) over transposed alignment = (*,block) over identity; the
+  // redistribute to (*,block) restores C's initial placement exactly.
+  b.redistribute("B", {DistFormat::collapsed(), DistFormat::block()}, "",
+                 "2");
+  b.use({"C"});
+
+  const Compiled c = compile_level(b, OptLevel::O1);
+  const ir::ArrayId array_c = c.program.find_array("C");
+  // C's transposed intermediate is never referenced: removed; and at the
+  // redistribute C's recomputed reaching equals its leaving (version 0),
+  // so the runtime guard suppresses any copy.
+  const auto* l1 = label_of(c, "1", "C");
+  ASSERT_NE(l1, nullptr);
+  EXPECT_TRUE(l1->removed);
+  const auto* l2 = label_of(c, "2", "C");
+  ASSERT_NE(l2, nullptr);
+  EXPECT_EQ(l2->reaching, (std::vector<int>{0}));
+  EXPECT_EQ(l2->leaving, (std::vector<int>{0}));
+
+  const auto report = run_checked(c);
+  // Nothing moves at all: C's remappings are useless, and B itself is not
+  // referenced after the redistribute either.
+  EXPECT_EQ(report.copies_performed, 0);
+
+  // Naive: C copied twice (there and back) plus B once.
+  ProgramBuilder b0("fig2");
+  b0.procs("P", Shape{4});
+  b0.array("B", Shape{16, 16});
+  b0.distribute_array("B", {DistFormat::block(), DistFormat::collapsed()},
+                      "P");
+  b0.array("C", Shape{16, 16});
+  b0.align_with_array("C", "B");
+  b0.use({"C"});
+  b0.realign_with_array("C", "B", transpose, "1");
+  b0.redistribute("B", {DistFormat::collapsed(), DistFormat::block()}, "",
+                  "2");
+  b0.use({"C"});
+  const Compiled c0 = compile_level(b0, OptLevel::O0);
+  const auto report0 = run_checked(c0);
+  EXPECT_EQ(report0.copies_performed, 3);
+  EXPECT_EQ(c.analysis.version_count(array_c), 2);
+}
+
+// ---------------------------------------------------------------- Figure 3
+// A template redistribution remaps all five aligned arrays although only
+// two of them are used afterwards.
+TEST(Fig03, OnlyUsedAlignedArraysAreRemapped) {
+  ProgramBuilder b("fig3");
+  b.procs("P", Shape{4});
+  b.tmpl("T", Shape{32});
+  b.distribute_template("T", {DistFormat::block()}, "P");
+  for (const char* name : {"A", "B", "C", "D", "E"}) {
+    b.array(name, Shape{32});
+    b.align(name, "T", Alignment::identity(1));
+  }
+  b.use({"A", "B", "C", "D", "E"});
+  b.redistribute("T", {DistFormat::cyclic()}, "", "1");
+  b.use({"A", "D"});
+
+  const Compiled c = compile_level(b, OptLevel::O1);
+  int kept = 0;
+  int removed = 0;
+  for (const char* name : {"A", "B", "C", "D", "E"}) {
+    const auto* label = label_of(c, "1", name);
+    ASSERT_NE(label, nullptr) << name;
+    (label->removed ? removed : kept)++;
+  }
+  EXPECT_EQ(kept, 2);
+  EXPECT_EQ(removed, 3);
+  EXPECT_EQ(c.opt_report.removed_remappings, 3);
+
+  const auto report = run_checked(c);
+  EXPECT_EQ(report.copies_performed, 2);
+
+  // Naive moves all five arrays.
+  ProgramBuilder b0("fig3");
+  b0.procs("P", Shape{4});
+  b0.tmpl("T", Shape{32});
+  b0.distribute_template("T", {DistFormat::block()}, "P");
+  for (const char* name : {"A", "B", "C", "D", "E"}) {
+    b0.array(name, Shape{32});
+    b0.align(name, "T", Alignment::identity(1));
+  }
+  b0.use({"A", "B", "C", "D", "E"});
+  b0.redistribute("T", {DistFormat::cyclic()}, "", "1");
+  b0.use({"A", "D"});
+  const Compiled c0 = compile_level(b0, OptLevel::O0);
+  EXPECT_EQ(run_checked(c0).copies_performed, 5);
+}
+
+// ---------------------------------------------------------------- Figure 4
+// call foo(Y); call foo(Y); call bla(Y): the back-and-forth argument
+// remappings between consecutive calls are useless, and Y moves directly
+// between foo's and bla's mappings.
+ProgramBuilder figure4() {
+  ProgramBuilder b("fig4");
+  b.procs("P", Shape{4});
+  b.array("Y", Shape{32});
+  b.distribute_array("Y", {DistFormat::block()}, "P");
+  b.interface("foo");
+  b.interface_dummy("X", Shape{32}, ir::Intent::In, {DistFormat::cyclic()},
+                    "P");
+  b.interface("bla");
+  b.interface_dummy("X", Shape{32}, ir::Intent::In, {DistFormat::cyclic(4)},
+                    "P");
+  b.use({"Y"});
+  b.call("foo", {"Y"});
+  b.call("foo", {"Y"});
+  b.call("bla", {"Y"});
+  b.use({"Y"});
+  return b;
+}
+
+TEST(Fig04, NaiveRemapsAroundEveryCall) {
+  ProgramBuilder b = figure4();
+  const Compiled c = compile_level(b, OptLevel::O0);
+  const auto report = run_checked(c);
+  // 3 copies in + 3 copies back.
+  EXPECT_EQ(report.copies_performed, 6);
+}
+
+TEST(Fig04, OptimizedRemapsDirectly) {
+  ProgramBuilder b = figure4();
+  const Compiled c = compile_level(b, OptLevel::O2);
+  // The restores after the first two calls are useless.
+  const auto* a1 = label_of(c, "a1", "Y");
+  ASSERT_NE(a1, nullptr);
+  EXPECT_TRUE(a1->removed);
+  const auto* a2 = label_of(c, "a2", "Y");
+  ASSERT_NE(a2, nullptr);
+  EXPECT_TRUE(a2->removed);
+  // The second foo call needs no copy at all: reaching == leaving.
+  const auto* b2 = label_of(c, "b2", "Y");
+  if (b2 != nullptr && !b2->removed) {
+    EXPECT_EQ(b2->reaching, b2->leaving);
+  }
+  const auto report = run_checked(c);
+  // Y: block->cyclic at foo1; cyclic->cyclic(4) directly at bla; and the
+  // final use of Y in block reuses the still-live initial copy (the calls
+  // only read), so the restore after bla costs nothing either.
+  EXPECT_EQ(report.copies_performed, 2);
+  EXPECT_GE(report.skipped_live_copy + report.skipped_already_mapped, 1);
+}
+
+// ------------------------------------------------------------- Figures 5/6
+// Figure 5: a reference under an ambiguous mapping is rejected
+// (restriction 1). Figure 6: ambiguity that is dead before any reference
+// is fine — the runtime status resolves it.
+TEST(Fig05, AmbiguousReferenceIsRejected) {
+  ProgramBuilder b("fig5");
+  b.procs("P", Shape{4});
+  b.tmpl("T0", Shape{16});
+  b.distribute_template("T0", {DistFormat::block()}, "P");
+  b.tmpl("T1", Shape{16});
+  b.distribute_template("T1", {DistFormat::cyclic()}, "P");
+  b.array("A", Shape{16});
+  b.align("A", "T0", Alignment::identity(1));
+  b.use({"A"});
+  b.begin_if();
+  b.realign("A", "T1", Alignment::identity(1));
+  b.end_if();
+  // A is block (via T0) or cyclic (via T1) here: referencing it is an
+  // error.
+  b.use({"A"});
+
+  DiagnosticEngine diags;
+  CompileOptions options;
+  const Compiled c = driver::compile(b.finish(diags), options, diags);
+  EXPECT_FALSE(c.ok);
+  EXPECT_TRUE(diags.has(DiagId::AmbiguousReference)) << diags.to_string();
+}
+
+TEST(Fig06, DeadAmbiguityIsAccepted) {
+  ProgramBuilder b("fig6");
+  b.procs("P", Shape{4});
+  b.array("A", Shape{16});
+  b.distribute_array("A", {DistFormat::block()}, "P");
+  b.use({"A"});
+  b.begin_if();
+  b.redistribute("A", {DistFormat::cyclic()}, "", "1");
+  b.use({"A"});
+  b.end_if();
+  // No reference here although A's mapping is ambiguous (Figure 6).
+  b.redistribute("A", {DistFormat::cyclic()}, "", "2");
+  b.use({"A"});
+
+  const Compiled c = compile_level(b, OptLevel::O2);
+  ASSERT_TRUE(c.ok);
+  const auto* l2 = label_of(c, "2", "A");
+  ASSERT_NE(l2, nullptr);
+  // Both the initial and the then-branch mapping reach vertex 2.
+  EXPECT_EQ(l2->reaching.size(), 2u);
+  EXPECT_EQ(l2->leaving.size(), 1u);
+
+  // Execute both paths: signatures must match the oracle on each.
+  for (const unsigned seed : {1u, 2u, 3u, 4u, 5u}) {
+    const auto report = run_checked(c, seed);
+    (void)report;
+  }
+}
+
+// ---------------------------------------------------------------- Figure 7
+// The translation scheme itself: a dynamic program becomes static copies.
+TEST(Fig07, TranslationInsertsCopiesBetweenStaticVersions) {
+  ProgramBuilder b("fig7");
+  b.procs("P", Shape{4});
+  b.array("A", Shape{24});
+  b.distribute_array("A", {DistFormat::cyclic()}, "P");
+  b.use({"A"}, "S1");
+  b.redistribute("A", {DistFormat::block()}, "", "1");
+  b.use({"A"}, "S2");
+
+  const Compiled c = compile_level(b, OptLevel::O2);
+  const ir::ArrayId a = c.program.find_array("A");
+  EXPECT_EQ(c.analysis.version_count(a), 2);
+  // References resolve to distinct versions.
+  int v_s1 = -1;
+  int v_s2 = -1;
+  for (const auto& node : c.analysis.cfg.nodes()) {
+    if (node.stmt == nullptr) continue;
+    const auto& map =
+        c.analysis.ref_versions[static_cast<std::size_t>(node.id)];
+    const auto it = map.find(a);
+    if (it == map.end()) continue;
+    if (node.stmt->label == "S1") v_s1 = it->second;
+    if (node.stmt->label == "S2") v_s2 = it->second;
+  }
+  EXPECT_EQ(v_s1, 0);
+  EXPECT_EQ(v_s2, 1);
+  EXPECT_EQ(run_checked(c).copies_performed, 1);
+}
+
+}  // namespace
+}  // namespace hpfc

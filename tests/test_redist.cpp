@@ -1,0 +1,205 @@
+// Redistribution communication sets: the periodic-pattern builder must
+// agree with the sorted-list oracle; transfers must partition the array
+// (every element sent exactly once per destination requirement).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "redist/commsets.hpp"
+#include "redist/progression.hpp"
+
+namespace hpfc::redist {
+namespace {
+
+using mapping::AlignTarget;
+using mapping::ConcreteLayout;
+using mapping::DimOwner;
+using mapping::DistFormat;
+using mapping::Shape;
+
+ConcreteLayout one_dim(Extent n, Extent procs, DistFormat fmt,
+                       Extent stride = 1, Extent offset = 0) {
+  const Extent span = stride >= 0 ? stride * (n - 1) + offset : offset;
+  DimOwner owner;
+  owner.source = AlignTarget::axis(0, stride, offset);
+  owner.template_extent = span + 1;
+  owner.format = fmt;
+  owner.format.param = fmt.resolved_param(span + 1, procs);
+  return ConcreteLayout::make(Shape{n}, Shape{procs}, {owner});
+}
+
+TEST(PeriodicPattern, CyclicPatternMembers) {
+  DimOwner owner;
+  owner.source = AlignTarget::axis(0);
+  owner.template_extent = 12;
+  owner.format = DistFormat::cyclic(2);
+  owner.format.param = 2;
+  const auto p = PeriodicPattern::from_dim_owner(owner, 3, 1, 12);
+  // (i/2)%3 == 1 -> i in {2,3, 8,9}.
+  EXPECT_EQ(p.materialize(), (std::vector<Index>{2, 3, 8, 9}));
+  EXPECT_EQ(p.count(), 4);
+  EXPECT_TRUE(p.contains(8));
+  EXPECT_FALSE(p.contains(4));
+}
+
+TEST(PeriodicPattern, IntersectMatchesExplicit) {
+  DimOwner a;
+  a.source = AlignTarget::axis(0);
+  a.template_extent = 24;
+  a.format = DistFormat::cyclic(2);
+  a.format.param = 2;
+  DimOwner b = a;
+  b.format = DistFormat::cyclic(3);
+  b.format.param = 3;
+  const auto pa = PeriodicPattern::from_dim_owner(a, 2, 1, 24);
+  const auto pb = PeriodicPattern::from_dim_owner(b, 4, 2, 24);
+  const auto both = PeriodicPattern::intersect(pa, pb);
+
+  std::vector<Index> expected;
+  for (Index i = 0; i < 24; ++i)
+    if ((i / 2) % 2 == 1 && (i / 3) % 4 == 2) expected.push_back(i);
+  EXPECT_EQ(both.materialize(), expected);
+  EXPECT_EQ(both.count(), static_cast<Extent>(expected.size()));
+}
+
+TEST(PeriodicPattern, StridedNegativeAlignment) {
+  DimOwner owner;
+  owner.source = AlignTarget::axis(0, -2, 20);
+  owner.template_extent = 21;
+  owner.format = DistFormat::cyclic(3);
+  owner.format.param = 3;
+  const auto p = PeriodicPattern::from_dim_owner(owner, 2, 0, 10);
+  std::vector<Index> expected;
+  for (Index i = 0; i < 10; ++i)
+    if (((20 - 2 * i) / 3) % 2 == 0) expected.push_back(i);
+  EXPECT_EQ(p.materialize(), expected);
+}
+
+// ---- plan-level properties -------------------------------------------
+
+void expect_partition(const RedistPlan& plan, const ConcreteLayout& to) {
+  // Every destination element is delivered exactly once.
+  std::map<std::pair<int, Index>, int> delivered;
+  for (const auto& t : plan.transfers) {
+    std::vector<std::size_t> pos(t.dim_indices.size(), 0);
+    const Extent count = t.count();
+    mapping::IndexVec global(t.dim_indices.size(), 0);
+    for (Extent e = 0; e < count; ++e) {
+      for (std::size_t d = 0; d < t.dim_indices.size(); ++d)
+        global[d] = t.dim_indices[d][pos[d]];
+      delivered[{t.dst, to.array_shape().linearize(global)}]++;
+      for (int d = static_cast<int>(t.dim_indices.size()) - 1; d >= 0; --d) {
+        auto& p = pos[static_cast<std::size_t>(d)];
+        if (++p < t.dim_indices[static_cast<std::size_t>(d)].size()) break;
+        p = 0;
+      }
+    }
+  }
+  for (const auto& [key, times] : delivered) EXPECT_EQ(times, 1);
+
+  Extent expected_total = 0;
+  for (int r = 0; r < to.ranks(); ++r) expected_total += to.local_count(r);
+  EXPECT_EQ(plan.total_elements(), expected_total);
+}
+
+struct PairParam {
+  DistFormat from;
+  DistFormat to;
+  Extent n;
+  Extent p_from;
+  Extent p_to;
+};
+
+class RedistSweep : public ::testing::TestWithParam<PairParam> {};
+
+TEST_P(RedistSweep, OracleAndPeriodicAgree) {
+  const auto& p = GetParam();
+  const auto from = one_dim(p.n, p.p_from, p.from);
+  const auto to = one_dim(p.n, p.p_to, p.to);
+  const RedistPlan oracle = build(from, to);
+  const RedistPlan fast = build_periodic(from, to);
+  ASSERT_EQ(oracle.transfers.size(), fast.transfers.size());
+  for (std::size_t i = 0; i < oracle.transfers.size(); ++i) {
+    EXPECT_EQ(oracle.transfers[i].src, fast.transfers[i].src);
+    EXPECT_EQ(oracle.transfers[i].dst, fast.transfers[i].dst);
+    EXPECT_EQ(oracle.transfers[i].dim_indices, fast.transfers[i].dim_indices);
+  }
+}
+
+TEST_P(RedistSweep, TransfersPartitionTheArray) {
+  const auto& p = GetParam();
+  const auto from = one_dim(p.n, p.p_from, p.from);
+  const auto to = one_dim(p.n, p.p_to, p.to);
+  expect_partition(build(from, to), to);
+  expect_partition(build_periodic(from, to), to);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FormatPairs, RedistSweep,
+    ::testing::Values(
+        PairParam{DistFormat::block(), DistFormat::cyclic(), 16, 4, 4},
+        PairParam{DistFormat::cyclic(), DistFormat::block(), 17, 4, 4},
+        PairParam{DistFormat::cyclic(2), DistFormat::cyclic(3), 24, 4, 4},
+        PairParam{DistFormat::block(), DistFormat::block(), 16, 4, 2},
+        PairParam{DistFormat::cyclic(), DistFormat::cyclic(), 16, 4, 8},
+        PairParam{DistFormat::block(9), DistFormat::cyclic(7), 33, 4, 3},
+        PairParam{DistFormat::cyclic(3), DistFormat::block(), 64, 8, 4},
+        PairParam{DistFormat::block(), DistFormat::cyclic(2), 100, 4, 4}));
+
+TEST(Redist, IdentityPlanIsAllLocal) {
+  const auto lay = one_dim(16, 4, DistFormat::block());
+  const RedistPlan plan = build(lay, lay);
+  EXPECT_EQ(plan.remote_transfers(), 0);
+  EXPECT_EQ(plan.total_elements(), 16);
+}
+
+TEST(Redist, BlockToCyclicMovesMostElements) {
+  const auto from = one_dim(64, 4, DistFormat::block());
+  const auto to = one_dim(64, 4, DistFormat::cyclic());
+  const RedistPlan plan = build(from, to);
+  // Each source rank keeps exactly a quarter of its block.
+  Extent local = 0;
+  for (const auto& t : plan.transfers)
+    if (t.src == t.dst) local += t.count();
+  EXPECT_EQ(local, 16);
+  EXPECT_EQ(plan.total_elements(), 64);
+}
+
+TEST(Redist2D, TransposeRedistribution) {
+  // (block, *) -> (*, block): the classic FFT transpose pattern.
+  DimOwner rows;
+  rows.source = AlignTarget::axis(0);
+  rows.template_extent = 8;
+  rows.format = DistFormat::block(2);
+  const auto from = ConcreteLayout::make(Shape{8, 8}, Shape{4}, {rows});
+  DimOwner cols;
+  cols.source = AlignTarget::axis(1);
+  cols.template_extent = 8;
+  cols.format = DistFormat::block(2);
+  const auto to = ConcreteLayout::make(Shape{8, 8}, Shape{4}, {cols});
+
+  const RedistPlan oracle = build(from, to);
+  const RedistPlan fast = build_periodic(from, to);
+  expect_partition(oracle, to);
+  ASSERT_EQ(oracle.transfers.size(), fast.transfers.size());
+  // All-to-all: 4x4 = 16 transfers of a 2x2 tile each.
+  EXPECT_EQ(oracle.transfers.size(), 16u);
+  for (const auto& t : oracle.transfers) EXPECT_EQ(t.count(), 4);
+}
+
+TEST(Redist, ReplicatedDestinationReceivesEverywhere) {
+  const auto from = one_dim(8, 4, DistFormat::block());
+  DimOwner owner;
+  owner.source = AlignTarget::replicated();
+  owner.template_extent = 4;
+  owner.format = DistFormat::block(1);
+  const auto to = ConcreteLayout::make(Shape{8}, Shape{4}, {owner});
+  const RedistPlan plan = build(from, to);
+  // Each of 4 destinations receives all 8 elements.
+  EXPECT_EQ(plan.total_elements(), 32);
+  expect_partition(plan, to);
+}
+
+}  // namespace
+}  // namespace hpfc::redist

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "mapping/shape.hpp"
+#include "support/check.hpp"
+
+namespace hpfc::mapping {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  const Shape s{4, 3, 2};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.extent(0), 4);
+  EXPECT_EQ(s.extent(2), 2);
+  EXPECT_EQ(s.total(), 24);
+}
+
+TEST(Shape, RankZeroTotalIsOne) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.total(), 1);
+}
+
+TEST(Shape, LinearizeIsRowMajor) {
+  const Shape s{3, 5};
+  const IndexVec idx{2, 4};
+  EXPECT_EQ(s.linearize(idx), 2 * 5 + 4);
+}
+
+TEST(Shape, DelinearizeInvertsLinearize) {
+  const Shape s{3, 4, 5};
+  for (Index linear = 0; linear < s.total(); ++linear) {
+    const IndexVec idx = s.delinearize(linear);
+    EXPECT_EQ(s.linearize(idx), linear);
+  }
+}
+
+TEST(Shape, ContainsChecksBounds) {
+  const Shape s{3, 3};
+  EXPECT_TRUE(s.contains(IndexVec{0, 0}));
+  EXPECT_TRUE(s.contains(IndexVec{2, 2}));
+  EXPECT_FALSE(s.contains(IndexVec{3, 0}));
+  EXPECT_FALSE(s.contains(IndexVec{0, -1}));
+  EXPECT_FALSE(s.contains(IndexVec{1}));
+}
+
+TEST(Shape, ForEachVisitsAllInOrder) {
+  const Shape s{2, 3};
+  std::vector<Index> seen;
+  s.for_each([&](std::span<const Index> idx) {
+    seen.push_back(s.linearize(idx));
+  });
+  ASSERT_EQ(seen.size(), 6u);
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_EQ(seen[i], static_cast<Index>(i));
+}
+
+TEST(Shape, RejectsNonPositiveExtents) {
+  EXPECT_THROW(Shape({0}), InternalError);
+  EXPECT_THROW(Shape({3, -1}), InternalError);
+}
+
+TEST(SupportMath, FloorDivMod) {
+  EXPECT_EQ(floor_mod(-1, 4), 3);
+  EXPECT_EQ(floor_div(-1, 4), -1);
+  EXPECT_EQ(floor_mod(7, 4), 3);
+  EXPECT_EQ(ceil_div(7, 4), 2);
+  EXPECT_EQ(ceil_div(8, 4), 2);
+  EXPECT_EQ(lcm64(6, 8), 24);
+  EXPECT_EQ(gcd64(6, 8), 2);
+  EXPECT_EQ(gcd64(-6, 8), 2);
+}
+
+TEST(SupportMath, NarrowDetectsLoss) {
+  EXPECT_EQ(narrow<int>(std::int64_t{42}), 42);
+  EXPECT_THROW(narrow<std::int8_t>(1000), InternalError);
+  EXPECT_THROW(narrow<unsigned>(-1), InternalError);
+}
+
+}  // namespace
+}  // namespace hpfc::mapping

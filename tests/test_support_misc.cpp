@@ -1,0 +1,168 @@
+// Support utilities and miscellaneous library surfaces: diagnostics
+// collection, string helpers, version-table edge cases, graph rendering,
+// and 2-D processor-grid end-to-end runs.
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hpp"
+#include "hpf/builder.hpp"
+#include "support/check.hpp"
+#include "support/diagnostics.hpp"
+#include "support/strings.hpp"
+
+namespace hpfc {
+namespace {
+
+TEST(Diagnostics, CollectsAndCounts) {
+  DiagnosticEngine diags;
+  diags.warning(DiagId::BadDirective, {1, 2}, "w");
+  EXPECT_FALSE(diags.has_errors());
+  diags.error(DiagId::UnknownSymbol, {3, 4}, "e1");
+  diags.error(DiagId::AmbiguousReference, {}, "e2");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 2);
+  EXPECT_EQ(diags.all().size(), 3u);
+  EXPECT_TRUE(diags.has(DiagId::UnknownSymbol));
+  EXPECT_FALSE(diags.has(DiagId::ParseError));
+  const auto* found = diags.find(DiagId::AmbiguousReference);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->message, "e2");
+  const std::string text = diags.to_string();
+  EXPECT_NE(text.find("unknown-symbol"), std::string::npos);
+  EXPECT_NE(text.find("3:4"), std::string::npos);
+  diags.clear();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(diags.all().empty());
+}
+
+TEST(Strings, SplitTrimJoin) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(trim("  x y\t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("he", "hello"));
+  EXPECT_EQ(join(std::vector<int>{1, 2, 3}, "-"), "1-2-3");
+  EXPECT_EQ(join(std::vector<int>{}, "-"), "");
+}
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(format_bytes(3u << 20), "3.0 MiB");
+}
+
+TEST(TwoDGrid, EndToEndOnProcessorMatrix) {
+  // A (block, block) layout over a 2x3 grid, remapped to (cyclic, block):
+  // exercises multi-dimensional grids end to end.
+  hpf::ProgramBuilder b("grid2d");
+  b.procs("G", mapping::Shape{2, 3});
+  b.array("A", mapping::Shape{12, 18});
+  b.distribute_array("A", {mapping::DistFormat::block(),
+                           mapping::DistFormat::block()},
+                     "G");
+  b.def({"A"});
+  b.redistribute("A", {mapping::DistFormat::cyclic(),
+                       mapping::DistFormat::block()},
+                 "", "1");
+  b.use({"A"});
+  b.redistribute("A", {mapping::DistFormat::cyclic(2),
+                       mapping::DistFormat::cyclic()},
+                 "", "2");
+  b.use({"A"});
+  DiagnosticEngine diags;
+  driver::CompileOptions options;
+  const auto compiled = driver::compile(b.finish(diags), options, diags);
+  ASSERT_TRUE(compiled.ok) << diags.to_string();
+  runtime::RunOptions run_options;
+  run_options.paranoid = true;
+  const auto report = driver::run(compiled, run_options);
+  const auto oracle = driver::run_oracle(compiled, run_options);
+  EXPECT_EQ(report.signature, oracle.signature);
+  EXPECT_EQ(report.copies_performed, 2);
+}
+
+TEST(TwoDGrid, GridToVectorArrangementChange) {
+  // Remapping between different processor arrangements (1-D row of 6 vs
+  // 2x3 grid) — the machine hosts the larger arrangement.
+  hpf::ProgramBuilder b("arrmix");
+  b.procs("P", mapping::Shape{6});
+  b.procs("G", mapping::Shape{2, 3});
+  b.tmpl("T", mapping::Shape{24, 24});
+  b.distribute_template("T", {mapping::DistFormat::block(),
+                              mapping::DistFormat::collapsed()},
+                        "P");
+  b.array("A", mapping::Shape{24, 24});
+  b.align("A", "T", mapping::Alignment::identity(2));
+  b.def({"A"});
+  b.redistribute("T", {mapping::DistFormat::block(),
+                       mapping::DistFormat::block()},
+                 "G", "1");
+  b.use({"A"});
+  DiagnosticEngine diags;
+  driver::CompileOptions options;
+  const auto compiled = driver::compile(b.finish(diags), options, diags);
+  ASSERT_TRUE(compiled.ok) << diags.to_string();
+  const auto report = driver::run(compiled);
+  const auto oracle = driver::run_oracle(compiled);
+  EXPECT_EQ(report.signature, oracle.signature);
+}
+
+TEST(VersionTable, RepresentativeIsFirstMapping) {
+  mapping::VersionTable table;
+  mapping::FullMapping fm;
+  fm.template_id = 7;
+  fm.template_shape = mapping::Shape{16};
+  fm.align = mapping::Alignment::identity(1);
+  fm.dist.proc_shape = mapping::Shape{4};
+  fm.dist.per_dim = {mapping::DistFormat::block()};
+  const int v = table.intern(fm.normalize(mapping::Shape{16}), fm);
+  EXPECT_EQ(table.representative(v).template_id, 7);
+  EXPECT_THROW(table.layout(5), InternalError);
+}
+
+TEST(GraphRendering, RemovedAndRegionLabels) {
+  hpf::ProgramBuilder b("render2");
+  b.procs("P", mapping::Shape{4});
+  b.array("A", mapping::Shape{32});
+  b.distribute_array("A", {mapping::DistFormat::block()}, "P");
+  b.def({"A"});
+  b.redistribute("A", {mapping::DistFormat::cyclic()}, "", "1");
+  b.redistribute("A", {mapping::DistFormat::block()}, "", "2");
+  b.use({"A"});
+  DiagnosticEngine diags;
+  driver::CompileOptions options;
+  options.level = driver::OptLevel::O1;
+  const auto compiled = driver::compile(b.finish(diags), options, diags);
+  ASSERT_TRUE(compiled.ok);
+  const std::string text =
+      compiled.analysis.graph.to_text(compiled.program);
+  EXPECT_NE(text.find("removed"), std::string::npos) << text;
+}
+
+TEST(NetStats, ArithmeticAndSummary) {
+  net::NetStats a;
+  a.messages = 10;
+  a.bytes = 1000;
+  a.sim_time = 1.0;
+  net::NetStats b;
+  b.messages = 4;
+  b.bytes = 400;
+  b.sim_time = 0.25;
+  net::NetStats sum = a;
+  sum += b;
+  EXPECT_EQ(sum.messages, 14u);
+  const net::NetStats diff = sum - b;
+  EXPECT_EQ(diff.messages, 10u);
+  EXPECT_EQ(diff.bytes, 1000u);
+  EXPECT_NE(a.summary().find("msgs"), std::string::npos);
+}
+
+TEST(CostModel, LinearInMessagesAndBytes) {
+  net::CostModel cost{2.0, 0.5};
+  EXPECT_DOUBLE_EQ(cost.message_time(3, 10), 3 * 2.0 + 10 * 0.5);
+  EXPECT_DOUBLE_EQ(cost.message_time(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace hpfc

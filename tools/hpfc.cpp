@@ -1,0 +1,155 @@
+// hpfc — command-line driver for the HPF-lite remapping compiler.
+//
+//   hpfc <file.hpf> [options]
+//
+//   --opt=O0|O1|O2      optimization level (default O2)
+//   --dump-program      print the parsed routine
+//   --dump-graph        print the remapping graph G_R
+//   --dump-dot          print G_R in graphviz format
+//   --dump-code         print the generated guard/copy code
+//   --run               execute on the simulated machine vs the oracle
+//   --compare           execute at all three levels and tabulate
+//   --seed=N            branch-decision seed for --run/--compare (default 7)
+//   --ranks=N           machine size (default: largest arrangement)
+//   --validate          run the Theorem 1 validator
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "driver/compiler.hpp"
+
+namespace {
+
+using namespace hpfc;
+
+struct Options {
+  std::string file;
+  driver::OptLevel level = driver::OptLevel::O2;
+  bool dump_program = false;
+  bool dump_graph = false;
+  bool dump_dot = false;
+  bool dump_code = false;
+  bool run = false;
+  bool compare = false;
+  bool validate = false;
+  unsigned seed = 7;
+  int ranks = 0;
+};
+
+int usage() {
+  std::cerr
+      << "usage: hpfc <file.hpf> [--opt=O0|O1|O2] [--dump-program]\n"
+         "            [--dump-graph] [--dump-dot] [--dump-code]\n"
+         "            [--run] [--compare] [--seed=N] [--ranks=N]"
+         " [--validate]\n";
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dump-program") options.dump_program = true;
+    else if (arg == "--dump-graph") options.dump_graph = true;
+    else if (arg == "--dump-dot") options.dump_dot = true;
+    else if (arg == "--dump-code") options.dump_code = true;
+    else if (arg == "--run") options.run = true;
+    else if (arg == "--compare") options.compare = true;
+    else if (arg == "--validate") options.validate = true;
+    else if (arg.rfind("--opt=", 0) == 0) {
+      const std::string level = arg.substr(6);
+      if (level == "O0") options.level = driver::OptLevel::O0;
+      else if (level == "O1") options.level = driver::OptLevel::O1;
+      else if (level == "O2") options.level = driver::OptLevel::O2;
+      else return false;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = static_cast<unsigned>(std::stoul(arg.substr(7)));
+    } else if (arg.rfind("--ranks=", 0) == 0) {
+      options.ranks = std::stoi(arg.substr(8));
+    } else if (!arg.empty() && arg[0] != '-' && options.file.empty()) {
+      options.file = arg;
+    } else {
+      return false;
+    }
+  }
+  return !options.file.empty();
+}
+
+void print_run(const char* tag, const runtime::RunReport& report,
+               bool matches) {
+  std::cout << tag << ": " << report.summary()
+            << (matches ? "  [oracle-match]" : "  [MISMATCH]") << "\n";
+}
+
+int run_level(const std::string& source, const Options& options,
+              driver::OptLevel level, bool verbose) {
+  DiagnosticEngine diags;
+  driver::CompileOptions compile_options;
+  compile_options.level = level;
+  compile_options.validate_theorem1 = options.validate;
+  const auto compiled =
+      driver::compile_source(source, compile_options, diags);
+  for (const auto& d : diags.all()) std::cerr << to_string(d) << "\n";
+  if (!compiled.ok) return 1;
+  if (options.validate && !compiled.opt_report.theorem1_holds) {
+    std::cerr << "Theorem 1 validation FAILED\n";
+    return 1;
+  }
+
+  if (verbose) {
+    if (options.dump_program)
+      std::cout << compiled.program.to_string() << "\n";
+    if (options.dump_graph)
+      std::cout << compiled.analysis.graph.to_text(compiled.program) << "\n";
+    if (options.dump_dot)
+      std::cout << compiled.analysis.graph.to_dot(compiled.program) << "\n";
+    if (options.dump_code)
+      std::cout << compiled.code.to_text(compiled.program) << "\n";
+    if (options.validate)
+      std::cout << "Theorem 1 validated; removed remappings: "
+                << compiled.opt_report.removed_remappings
+                << ", hoisted: " << compiled.opt_report.hoisted_remaps
+                << "\n";
+  }
+
+  if (options.run || options.compare) {
+    runtime::RunOptions run_options;
+    run_options.seed = options.seed;
+    run_options.ranks = options.ranks;
+    const auto oracle = driver::run_oracle(compiled, run_options);
+    const auto report = driver::run(compiled, run_options);
+    print_run(driver::to_string(level), report,
+              report.signature == oracle.signature &&
+                  report.exported_values_ok);
+    if (report.signature != oracle.signature) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) return usage();
+
+  std::ifstream in(options.file);
+  if (!in) {
+    std::cerr << "hpfc: cannot open " << options.file << "\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string source = buffer.str();
+
+  if (options.compare) {
+    int status = 0;
+    bool verbose = true;
+    for (const auto level : {driver::OptLevel::O0, driver::OptLevel::O1,
+                             driver::OptLevel::O2}) {
+      status |= run_level(source, options, level, verbose);
+      verbose = false;  // dumps once, at the first level
+    }
+    return status;
+  }
+  return run_level(source, options, options.level, /*verbose=*/true);
+}
