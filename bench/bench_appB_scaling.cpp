@@ -22,7 +22,7 @@ double analyze_ms(int arrays, int remaps, int filler) {
   return std::chrono::duration<double, std::milli>(stop - start).count();
 }
 
-void report() {
+void report(Harness& h) {
   std::printf("\n=== A-B / Appendix B — construction complexity ===\n");
   std::printf("paper: worst case O(n * s * m^2 * p^2) for the propagation "
               "and graph construction\n");
@@ -30,14 +30,21 @@ void report() {
   for (const int remaps : {4, 8, 16, 32}) {
     const double ms = analyze_ms(4, remaps, 2);
     std::printf("arrays=4 remaps=%-3d filler=2    %12.3f\n", remaps, ms);
+    h.record_timing("appB", "arrays=4 remaps=" + std::to_string(remaps),
+                    "analyze", ms);
   }
   for (const int arrays : {2, 4, 8, 16}) {
     const double ms = analyze_ms(arrays, 8, 2);
     std::printf("arrays=%-3d remaps=8 filler=2    %12.3f\n", arrays, ms);
+    h.record_timing("appB", "arrays=" + std::to_string(arrays) + " remaps=8",
+                    "analyze", ms);
   }
   for (const int filler : {1, 4, 16, 64}) {
     const double ms = analyze_ms(4, 8, filler);
     std::printf("arrays=4 remaps=8 filler=%-3d    %12.3f\n", filler, ms);
+    h.record_timing("appB", "arrays=4 remaps=8 filler=" +
+                                std::to_string(filler),
+                    "analyze", ms);
   }
   std::printf("  -> growth is polynomial and mild in each dimension, as the "
               "bound predicts (m enters quadratically, n linearly)\n");
@@ -59,8 +66,5 @@ BENCHMARK(BM_analyze)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Complexity();
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_main(argc, argv, "appB_scaling", report);
 }

@@ -14,7 +14,7 @@ using namespace bench_common;
 
 namespace {
 
-void report() {
+void report(Harness& h) {
   std::printf("\n=== A-C / Appendix C — optimization complexity + Theorem 1 "
               "===\n");
   std::printf("paper: removal + reaching recomputation in O(m^2*p*q*r); "
@@ -36,6 +36,8 @@ void report() {
         std::chrono::duration<double, std::milli>(stop - start).count();
     std::printf("remaps=%-4d                      %12.3f %10d\n", remaps, ms,
                 opt_report.removed_remappings);
+    h.record_timing("appC", "remaps=" + std::to_string(remaps), "optimize",
+                    ms);
   }
 
   int validated = 0;
@@ -74,8 +76,5 @@ BENCHMARK(BM_removal_pass)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_main(argc, argv, "appC_optscale", report);
 }

@@ -9,21 +9,17 @@ using hpfc::driver::OptLevel;
 
 namespace {
 
-void report() {
+void report(Harness& h) {
   banner("F1 / Figure 1 — direct remapping",
          "A changes alignment and distribution; the intermediate mapping is "
          "dead, so one direct copy should replace the two-step remapping");
   for (const int procs : {4, 16}) {
     const hpfc::mapping::Extent n = 128;
     for (const bool used : {true, false}) {
-      for (const OptLevel level : {OptLevel::O0, OptLevel::O2}) {
-        const auto compiled = compile(fig1(n, procs, used), level);
-        const auto run = run_checked(compiled);
-        row("P=" + std::to_string(procs) +
-                (used ? " used-between " : " dead-between ") +
-                hpfc::driver::to_string(level),
-            run);
-      }
+      h.measure("fig01",
+                "P=" + std::to_string(procs) +
+                    (used ? " used-between" : " dead-between"),
+                [=] { return fig1(n, procs, used); });
     }
   }
   note("dead-between at O2 performs 2 copies (A direct + B) vs 3 at O0: the "
@@ -50,8 +46,5 @@ BENCHMARK(BM_run_fig1_direct);
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_main(argc, argv, "fig01_direct", report);
 }

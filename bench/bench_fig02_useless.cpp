@@ -9,22 +9,18 @@ using hpfc::driver::OptLevel;
 
 namespace {
 
-void report() {
+void report(Harness& h) {
   banner("F2 / Figure 2 — useless remappings",
          "both C remappings are useless because the redistribution restores "
          "its initial mapping: zero communication after optimization");
   for (const int procs : {4, 16}) {
     for (const hpfc::mapping::Extent n : {64, 256}) {
-      for (const OptLevel level : {OptLevel::O0, OptLevel::O1}) {
-        const auto compiled = compile(fig2(n, procs), level);
-        const auto run = run_checked(compiled);
-        row("P=" + std::to_string(procs) + " n=" + std::to_string(n) + " " +
-                hpfc::driver::to_string(level),
-            run);
-      }
+      h.measure("fig02",
+                "P=" + std::to_string(procs) + " n=" + std::to_string(n),
+                [=] { return fig2(n, procs); });
     }
   }
-  note("O1 rows show 0 copies: the restore is recognized by placement "
+  note("O1/O2 rows show 0 copies: the restore is recognized by placement "
        "equality of the normalized two-level mappings");
 }
 
@@ -39,8 +35,5 @@ BENCHMARK(BM_optimize_fig2);
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_main(argc, argv, "fig02_useless", report);
 }

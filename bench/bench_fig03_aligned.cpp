@@ -9,20 +9,17 @@ using hpfc::driver::OptLevel;
 
 namespace {
 
-void report() {
+void report(Harness& h) {
   banner("F3 / Figure 3 — aligned array remappings",
          "template T redistribution remaps all five aligned arrays although "
          "only two are used afterwards: 5 copies naive, 2 optimized");
   const hpfc::mapping::Extent n = 4096;
   for (const int arrays : {5, 10, 20}) {
     const int used = arrays * 2 / 5;
-    for (const OptLevel level : {OptLevel::O0, OptLevel::O1}) {
-      const auto compiled = compile(fig3(n, 4, arrays, used), level);
-      const auto run = run_checked(compiled);
-      row(std::to_string(arrays) + " arrays, " + std::to_string(used) +
-              " used, " + hpfc::driver::to_string(level),
-          run);
-    }
+    h.measure("fig03",
+              std::to_string(arrays) + " arrays, " + std::to_string(used) +
+                  " used",
+              [=] { return fig3(n, 4, arrays, used); });
   }
   note("copies drop from `arrays` to `used`; bytes scale in proportion "
        "(the paper's 5 -> 2 becomes a 2.5x traffic ratio)");
@@ -40,8 +37,5 @@ BENCHMARK(BM_analyze_many_aligned)->Arg(5)->Arg(20)->Arg(40);
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_main(argc, argv, "fig03_aligned", report);
 }

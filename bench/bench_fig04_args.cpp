@@ -9,20 +9,14 @@ using hpfc::driver::OptLevel;
 
 namespace {
 
-void report() {
+void report(Harness& h) {
   banner("F4 / Figure 4 — argument remappings",
          "foo;foo;bla: remappings back and forth between calls are useless; "
          "6 copies naive vs 2 optimized, with live-copy reuse at the end");
   for (const int procs : {4, 16, 64}) {
     const hpfc::mapping::Extent n = 4096;
-    for (const OptLevel level :
-         {OptLevel::O0, OptLevel::O1, OptLevel::O2}) {
-      const auto compiled = compile(fig4(n, procs), level);
-      const auto run = run_checked(compiled);
-      row("P=" + std::to_string(procs) + " " +
-              hpfc::driver::to_string(level),
-          run);
-    }
+    h.measure("fig04", "P=" + std::to_string(procs),
+              [=] { return fig4(n, procs); });
   }
   note("O1 removes the two restores between calls; O2 additionally reuses "
        "the still-live block copy after the last call (intent(in) callees)");
@@ -39,8 +33,5 @@ BENCHMARK(BM_interprocedural_chain);
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_main(argc, argv, "fig04_args", report);
 }

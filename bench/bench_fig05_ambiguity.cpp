@@ -46,7 +46,7 @@ begin
 end
 )";
 
-void report() {
+void report(Harness& h) {
   std::printf("\n=== F5/F6 — ambiguity checking (Figures 5 and 6) ===\n");
   std::printf("paper: Figure 5's reference under an ambiguous mapping is "
               "forbidden;\n       Figure 6's ambiguity is dead before any "
@@ -72,6 +72,8 @@ void report() {
       for (const unsigned seed : {1u, 2u, 3u, 4u}) {
         const auto run = run_checked(compiled, seed);
         row("fig6 seed=" + std::to_string(seed), run);
+        // compile_source above used the default CompileOptions level, O2.
+        h.record("fig06", "seed=" + std::to_string(seed), "O2", run);
       }
       note("on the then-path the final redistribute is a status no-op; on "
            "the other it performs the copy — same results either way");
@@ -92,8 +94,5 @@ BENCHMARK(BM_reject_fig5);
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_main(argc, argv, "fig05_ambiguity", report);
 }

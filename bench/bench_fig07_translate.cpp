@@ -28,7 +28,7 @@ hpfc::ir::Program fig7(Extent n, int procs, int phases) {
   return b.finish(diags);
 }
 
-void report() {
+void report(Harness& h) {
   banner("F7 / Figure 7 — dynamic-to-static translation",
          "the redistribution of A is translated into a copy between two "
          "statically mapped versions; references retarget to the versions");
@@ -37,8 +37,8 @@ void report() {
     std::printf("phases=%-3d versions(A)=%d\n", phases,
                 compiled.analysis.version_count(
                     compiled.program.find_array("A")));
-    const auto run = run_checked(compiled);
-    row("phases=" + std::to_string(phases), run);
+    h.measure("fig07", "phases=" + std::to_string(phases),
+              [=] { return fig7(4096, 4, phases); });
   }
   note("alternating block/cyclic phases intern exactly 2 versions "
        "regardless of phase count — versions are placements, not events");
@@ -55,8 +55,5 @@ BENCHMARK(BM_translate);
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_main(argc, argv, "fig07_translate", report);
 }

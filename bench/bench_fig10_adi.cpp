@@ -10,7 +10,7 @@ using hpfc::driver::OptLevel;
 
 namespace {
 
-void report() {
+void report(Harness& h) {
   banner("F10-12 / Figures 10-12 — ADI remapping graph",
          "7 G_R vertices; after optimization A is used with 4 mappings, "
          "B only {0,1}, C only in the loop; B freed before the loop, C "
@@ -30,14 +30,8 @@ void report() {
     std::printf("%s", compiled.analysis.graph.to_text(compiled.program).c_str());
   }
   for (const hpfc::mapping::Extent sweeps : {1, 4, 16}) {
-    for (const OptLevel level :
-         {OptLevel::O0, OptLevel::O1, OptLevel::O2}) {
-      const auto compiled = compile(fig10(64, 4, sweeps), level);
-      const auto run = run_checked(compiled);
-      row("sweeps=" + std::to_string(sweeps) + " " +
-              hpfc::driver::to_string(level),
-          run);
-    }
+    h.measure("fig10", "sweeps=" + std::to_string(sweeps),
+              [=] { return fig10(64, 4, sweeps); });
   }
   note("O1 stops copying B and C outside their live ranges; per-sweep "
        "copies drop accordingly while results stay oracle-equal");
@@ -64,8 +58,5 @@ BENCHMARK(BM_adi_run_O0_vs_O2)->Arg(0)->Arg(2);
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_main(argc, argv, "fig10_adi", report);
 }

@@ -10,18 +10,13 @@ using hpfc::driver::OptLevel;
 
 namespace {
 
-void report() {
+void report(Harness& h) {
   banner("F16/17 / Figures 16-17 — loop-invariant remappings",
          "naive: 2 copies per iteration; optimized: the remapping occurs "
          "only at the first iteration, later ones just check the status");
   for (const hpfc::mapping::Extent trips : {1, 8, 64}) {
-    for (const OptLevel level : {OptLevel::O0, OptLevel::O2}) {
-      const auto compiled = compile(fig16(4096, 4, trips), level);
-      const auto run = run_checked(compiled);
-      row("t=" + std::to_string(trips) + " " +
-              hpfc::driver::to_string(level),
-          run);
-    }
+    h.measure("fig16", "t=" + std::to_string(trips),
+              [=] { return fig16(4096, 4, trips); });
   }
   note("O0 copies grow as 2t; O2 stays flat (1 copy + live reuse) with "
        "t-1 status-check hits — the crossover is immediate at t >= 1");
@@ -49,8 +44,5 @@ BENCHMARK(BM_loop_run)->Arg(0)->Arg(2);
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_main(argc, argv, "fig16_loop", report);
 }

@@ -10,7 +10,7 @@ using hpfc::driver::OptLevel;
 
 namespace {
 
-void report() {
+void report(Harness& h) {
   banner("F18 / Figure 18 — mapping restored around a call",
          "reaching(A) is saved; on return the saved status selects the "
          "mapping to restore (two candidate leaving mappings)");
@@ -22,6 +22,7 @@ void report() {
   for (unsigned seed = 1; seed <= 6; ++seed) {
     const auto run = run_checked(naive, seed);
     row("O0 seed=" + std::to_string(seed), run);
+    h.record("fig18", "seed=" + std::to_string(seed), "O0", run);
   }
   const auto opt = compile(fig18(4096, 4), OptLevel::O2);
   std::printf("after O2: restore dispatches=%d (the unused restore is "
@@ -30,6 +31,7 @@ void report() {
   for (unsigned seed = 1; seed <= 6; ++seed) {
     const auto run = run_checked(opt, seed);
     row("O2 seed=" + std::to_string(seed), run);
+    h.record("fig18", "seed=" + std::to_string(seed), "O2", run);
   }
   note("both paths and both levels agree with the oracle; O2 moves the "
        "argument directly to the next required mapping");
@@ -50,8 +52,5 @@ BENCHMARK(BM_restore_run);
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_main(argc, argv, "fig18_restore", report);
 }

@@ -33,7 +33,7 @@ hpfc::ir::Program fig9_program() {
   return b.finish(diags);
 }
 
-void report() {
+void report(Harness& h) {
   banner("F19/20 / Figures 19-20 — generated guard code",
          "per vertex: status guard, allocation, liveness test, per-source "
          "dispatch, live flag, status update, then cleanup");
@@ -47,6 +47,7 @@ void report() {
               compiled.code.count(hpfc::codegen::OpKind::Free));
   const auto run = run_checked(compiled);
   row("fig20 run", run);
+  h.record("fig19", "fig20 run", "O2", run);
   note("the Figure 20 vertex dispatches on {1,2} and skips the copy when "
        "the status already matches");
 }
@@ -75,8 +76,5 @@ BENCHMARK(BM_copies_every_iteration);
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_main(argc, argv, "fig19_codegen", report);
 }

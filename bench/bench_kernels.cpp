@@ -64,38 +64,21 @@ hpfc::ir::Program solver(Extent n, int procs, Extent phases) {
   return b.finish(diags);
 }
 
-void report() {
+void report(Harness& h) {
   banner("R / §1 kernels — ADI, 2-D FFT, linear solver",
          "remappings are useful (ADI, FFT, linear algebra) but naive "
          "translation wastes communication; optimization recovers it");
   for (const int procs : {4, 16, 64}) {
-    for (const OptLevel level :
-         {OptLevel::O0, OptLevel::O1, OptLevel::O2}) {
-      const auto compiled = compile(fig10(64, procs, 8), level);
-      const auto run = run_checked(compiled);
-      row("ADI P=" + std::to_string(procs) + " " +
-              hpfc::driver::to_string(level),
-          run);
-    }
+    h.measure("kernel-adi", "P=" + std::to_string(procs),
+              [=] { return fig10(64, procs, 8); });
   }
   for (const int procs : {4, 16}) {
-    for (const OptLevel level : {OptLevel::O0, OptLevel::O2}) {
-      const auto compiled = compile(fft2d(64, procs, 4), level);
-      const auto run = run_checked(compiled);
-      row("FFT2D P=" + std::to_string(procs) + " " +
-              hpfc::driver::to_string(level),
-          run);
-    }
+    h.measure("kernel-fft2d", "P=" + std::to_string(procs),
+              [=] { return fft2d(64, procs, 4); });
   }
   for (const int procs : {4, 16}) {
-    for (const OptLevel level :
-         {OptLevel::O0, OptLevel::O1, OptLevel::O2}) {
-      const auto compiled = compile(solver(96, procs, 4), level);
-      const auto run = run_checked(compiled);
-      row("SOLVER P=" + std::to_string(procs) + " " +
-              hpfc::driver::to_string(level),
-          run);
-    }
+    h.measure("kernel-solver", "P=" + std::to_string(procs),
+              [=] { return solver(96, procs, 4); });
   }
   note("FFT transposes are genuinely needed (O2 == O0 on copies there is "
        "expected: every copy is useful); ADI and the solver lose their "
@@ -114,8 +97,5 @@ BENCHMARK(BM_fft_transpose_run);
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_main(argc, argv, "kernels", report);
 }

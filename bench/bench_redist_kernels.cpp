@@ -8,6 +8,8 @@
 #include "common.hpp"
 #include "redist/commsets.hpp"
 
+using bench_common::Harness;
+using bench_common::bench_main;
 using hpfc::mapping::AlignTarget;
 using hpfc::mapping::ConcreteLayout;
 using hpfc::mapping::DimOwner;
@@ -40,7 +42,7 @@ const Case kCases[] = {
     {"block->block", DistFormat::block(), DistFormat::block()},
 };
 
-void report() {
+void report(Harness& h) {
   std::printf("\n=== K — block-cyclic redistribution kernels (ref [19]) "
               "===\n");
   std::printf("paper substrate: efficient communication-set computation for "
@@ -60,12 +62,19 @@ void report() {
         if (oracle.transfers.size() != fast.transfers.size() ||
             oracle.total_elements() != fast.total_elements())
           std::abort();
-        std::printf(
-            "%-24s %8lld %8lld %10zu %10d %12.3f %12.3f\n", c.name,
-            static_cast<long long>(n), static_cast<long long>(p),
-            fast.transfers.size(), fast.remote_transfers(),
-            std::chrono::duration<double, std::milli>(t1 - t0).count(),
-            std::chrono::duration<double, std::milli>(t2 - t1).count());
+        const double oracle_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        const double periodic_ms =
+            std::chrono::duration<double, std::milli>(t2 - t1).count();
+        std::printf("%-24s %8lld %8lld %10zu %10d %12.3f %12.3f\n", c.name,
+                    static_cast<long long>(n), static_cast<long long>(p),
+                    fast.transfers.size(), fast.remote_transfers(),
+                    oracle_ms, periodic_ms);
+        const std::string config = std::string(c.name) +
+                                   " N=" + std::to_string(n) +
+                                   " P=" + std::to_string(p);
+        h.record_timing("redist-plan", config, "oracle", oracle_ms);
+        h.record_timing("redist-plan", config, "periodic", periodic_ms);
       }
     }
   }
@@ -104,8 +113,5 @@ BENCHMARK(BM_plan_periodic)
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_main(argc, argv, "redist_kernels", report);
 }

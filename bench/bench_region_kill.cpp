@@ -45,22 +45,21 @@ hpfc::ir::Program kill_program(Extent n, bool with_kill) {
   return b.finish(diags);
 }
 
-void report() {
+void report(Harness& h) {
   banner("X / §4.3 — kill directive and live regions",
          "kill avoids remapping communication of dead values; array "
          "regions restrict the communication to the live subset");
   const Extent n = 1 << 16;
   for (const bool with_kill : {false, true}) {
-    const auto compiled = compile(kill_program(n, with_kill), OptLevel::O1);
-    const auto run = run_checked(compiled);
-    row(std::string("kill: ") + (with_kill ? "yes" : "no "), run);
+    h.measure("region-kill", std::string("kill=") + (with_kill ? "yes" : "no"),
+              [=] { return kill_program(n, with_kill); },
+              {OptLevel::O1});
   }
   for (const Extent live : {n, n / 4, n / 16, n / 256}) {
-    const auto compiled =
-        compile(region_program(n, live, live != n), OptLevel::O2);
-    const auto run = run_checked(compiled);
-    row("live region " + std::to_string(live) + "/" + std::to_string(n),
-        run);
+    h.measure("region-live",
+              "live " + std::to_string(live) + "/" + std::to_string(n),
+              [=] { return region_program(n, live, live != n); },
+              {OptLevel::O2});
   }
   note("communication scales with the live region, not the array size; "
        "kill eliminates it entirely when the values are dead");
@@ -80,8 +79,5 @@ BENCHMARK(BM_region_copy)->Arg(1 << 6)->Arg(1 << 10)->Arg(1 << 14);
 }  // namespace
 
 int main(int argc, char** argv) {
-  report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench_main(argc, argv, "region_kill", report);
 }

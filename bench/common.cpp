@@ -1,6 +1,13 @@
 #include "common.hpp"
 
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
 
 namespace bench_common {
 
@@ -60,17 +67,236 @@ void banner(const std::string& experiment, const std::string& paper_claim) {
 }
 
 void row(const std::string& label, const RunReport& report) {
-  std::printf("%-28s %8d %12llu %12llu %10llu %10d %12.3f\n", label.c_str(),
-              report.copies_performed,
-              static_cast<unsigned long long>(report.elements_copied),
-              static_cast<unsigned long long>(report.net.messages),
-              static_cast<unsigned long long>(report.net.bytes),
-              report.skipped_already_mapped + report.skipped_live_copy,
-              report.net.sim_time * 1e3);
+  row(label, metrics_from(/*level=*/"", report));
 }
 
 void note(const std::string& text) {
   std::printf("  -> %s\n", text.c_str());
+}
+
+// ---- measurement harness ------------------------------------------------
+
+namespace {
+
+double median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t mid = samples.size() / 2;
+  if (samples.size() % 2 == 1) return samples[mid];
+  return (samples[mid - 1] + samples[mid]) / 2.0;
+}
+
+double wall_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+void json_escape(std::ostream& os, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c; break;
+    }
+  }
+}
+
+}  // namespace
+
+LevelMetrics metrics_from(const std::string& level, const RunReport& report,
+                          double compile_wall_ms, double run_wall_ms) {
+  LevelMetrics metrics;
+  metrics.level = level;
+  metrics.copies_performed = report.copies_performed;
+  metrics.elements_copied = report.elements_copied;
+  metrics.remote_messages = report.net.messages;
+  metrics.remote_bytes = report.net.bytes;
+  metrics.skipped_status_guard = report.skipped_already_mapped;
+  metrics.skipped_live_copy = report.skipped_live_copy;
+  metrics.sim_time_ms = report.net.sim_time * 1e3;
+  metrics.compile_wall_ms = compile_wall_ms;
+  metrics.run_wall_ms = run_wall_ms;
+  return metrics;
+}
+
+void row(const std::string& label, const LevelMetrics& m) {
+  std::printf("%-28s %8d %12llu %12llu %10llu %10d %12.3f\n", label.c_str(),
+              m.copies_performed,
+              static_cast<unsigned long long>(m.elements_copied),
+              static_cast<unsigned long long>(m.remote_messages),
+              static_cast<unsigned long long>(m.remote_bytes),
+              m.skipped_status_guard + m.skipped_live_copy, m.sim_time_ms);
+}
+
+HarnessOptions HarnessOptions::parse(int& argc, char** argv) {
+  HarnessOptions options;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      options.json_path = arg.substr(7);
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      options.reps = std::max(1, std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--warmup=", 0) == 0) {
+      options.warmup = std::max(0, std::atoi(arg.c_str() + 9));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = static_cast<unsigned>(std::strtoul(arg.c_str() + 7,
+                                                        nullptr, 10));
+    } else if (arg == "--no-gbench") {
+      options.run_google_benchmarks = false;
+    } else {
+      argv[out++] = argv[i];  // leave unrecognized args for gbench
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return options;
+}
+
+Harness::Harness(std::string bench_name, HarnessOptions options)
+    : bench_name_(std::move(bench_name)), options_(options) {}
+
+FigureRecord& Harness::entry(const std::string& figure,
+                             const std::string& config) {
+  for (auto& record : records_)
+    if (record.figure == figure && record.config == config) return record;
+  records_.push_back(FigureRecord{figure, config, {}});
+  return records_.back();
+}
+
+LevelMetrics Harness::measure_level(const Factory& factory, OptLevel level,
+                                    unsigned seed) {
+  std::vector<double> compile_samples;
+  std::vector<double> run_samples;
+  Compiled compiled;
+  RunReport report;
+  hpfc::runtime::RunOptions run_options;
+  run_options.seed = seed;
+  bool oracle_checked = false;
+  std::uint64_t oracle_signature = 0;
+  for (int rep = 0; rep < options_.warmup + options_.reps; ++rep) {
+    const double compile_ms =
+        wall_ms([&] { compiled = compile(factory(), level); });
+    const double run_ms =
+        wall_ms([&] { report = hpfc::driver::run(compiled, run_options); });
+    // Cross-check against the sequential oracle outside the timed
+    // region; the simulation is deterministic, so once per level is
+    // enough for the reference signature.
+    if (!oracle_checked) {
+      oracle_signature =
+          hpfc::driver::run_oracle(compiled, run_options).signature;
+      oracle_checked = true;
+    }
+    if (report.signature != oracle_signature || !report.exported_values_ok) {
+      std::fprintf(stderr, "benchmark run diverged from the oracle\n");
+      std::abort();
+    }
+    if (rep >= options_.warmup) {
+      compile_samples.push_back(compile_ms);
+      run_samples.push_back(run_ms);
+    }
+  }
+
+  return metrics_from(hpfc::driver::to_string(level), report,
+                      median(std::move(compile_samples)),
+                      median(std::move(run_samples)));
+}
+
+void Harness::measure(const std::string& figure, const std::string& config,
+                      const Factory& factory, std::vector<OptLevel> levels,
+                      unsigned seed) {
+  if (seed == 0) seed = options_.seed;
+  FigureRecord& record = entry(figure, config);
+  for (const OptLevel level : levels) {
+    LevelMetrics metrics = measure_level(factory, level, seed);
+    row(config + " " + metrics.level, metrics);
+    record.levels.push_back(std::move(metrics));
+  }
+}
+
+void Harness::record(const std::string& figure, const std::string& config,
+                     const std::string& level, const RunReport& report,
+                     double compile_wall_ms, double run_wall_ms) {
+  entry(figure, config)
+      .levels.push_back(
+          metrics_from(level, report, compile_wall_ms, run_wall_ms));
+}
+
+void Harness::record_timing(const std::string& figure,
+                            const std::string& config,
+                            const std::string& level, double wall_ms) {
+  LevelMetrics metrics;
+  metrics.level = level;
+  metrics.compile_wall_ms = wall_ms;
+  entry(figure, config).levels.push_back(std::move(metrics));
+}
+
+bool Harness::write_json() const {
+  if (options_.json_path.empty()) return true;
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"hpfc-bench-v1\",\n";
+  os << "  \"bench\": \"";
+  json_escape(os, bench_name_);
+  os << "\",\n";
+  os << "  \"reps\": " << options_.reps << ",\n";
+  os << "  \"warmup\": " << options_.warmup << ",\n";
+  os << "  \"seed\": " << options_.seed << ",\n";
+  os << "  \"figures\": [";
+  bool first_figure = true;
+  for (const auto& record : records_) {
+    os << (first_figure ? "\n" : ",\n");
+    first_figure = false;
+    os << "    {\"figure\": \"";
+    json_escape(os, record.figure);
+    os << "\", \"config\": \"";
+    json_escape(os, record.config);
+    os << "\", \"levels\": [";
+    bool first_level = true;
+    for (const auto& m : record.levels) {
+      os << (first_level ? "\n" : ",\n");
+      first_level = false;
+      os << "      {\"level\": \"";
+      json_escape(os, m.level);
+      os << "\", \"copies_performed\": " << m.copies_performed
+         << ", \"elements_copied\": " << m.elements_copied
+         << ", \"remote_messages\": " << m.remote_messages
+         << ", \"remote_bytes\": " << m.remote_bytes
+         << ", \"skipped_status_guard\": " << m.skipped_status_guard
+         << ", \"skipped_live_copy\": " << m.skipped_live_copy
+         << ", \"sim_time_ms\": " << m.sim_time_ms
+         << ", \"compile_wall_ms\": " << m.compile_wall_ms
+         << ", \"run_wall_ms\": " << m.run_wall_ms << "}";
+    }
+    os << "\n    ]}";
+  }
+  os << "\n  ]\n}\n";
+
+  std::ofstream out(options_.json_path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n",
+                 options_.json_path.c_str());
+    return false;
+  }
+  out << os.str();
+  return static_cast<bool>(out);
+}
+
+int bench_main(int argc, char** argv, const std::string& bench_name,
+               const std::function<void(Harness&)>& body) {
+  HarnessOptions options = HarnessOptions::parse(argc, argv);
+  Harness harness(bench_name, options);
+  body(harness);
+  if (!harness.write_json()) return 1;
+  if (options.run_google_benchmarks) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
 }
 
 // ---- figure factories ---------------------------------------------------
@@ -183,7 +409,7 @@ hpfc::ir::Program fig10(Extent n, int procs, Extent sweeps) {
   return b.finish(diags);
 }
 
-hpfc::ir::Program fig13(Extent n, int procs) {
+hpfc::ir::Program fig13(Extent n, int procs, bool useless_tail) {
   ProgramBuilder b("fig13");
   b.procs("P", Shape{procs});
   b.array("A", Shape{n});
@@ -198,6 +424,7 @@ hpfc::ir::Program fig13(Extent n, int procs) {
   b.end_if();
   b.redistribute("A", {DistFormat::block()}, "", "3");
   b.use({"A"}, "s3");
+  if (useless_tail) b.redistribute("A", {DistFormat::cyclic()}, "", "4");
   DiagnosticEngine diags;
   return b.finish(diags);
 }

@@ -1,11 +1,15 @@
 // Shared helpers for the per-figure benchmark harness: program factories
 // for the paper's examples (parameterized by problem size / machine size),
-// compile-and-run wrappers, and the paper-vs-measured row printer used by
-// EXPERIMENTS.md.
+// compile-and-run wrappers, the paper-vs-measured row printer used by
+// EXPERIMENTS.md, and the JSON-emitting measurement harness every
+// bench_*.cpp executable routes through (bench_main).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "driver/compiler.hpp"
 #include "hpf/builder.hpp"
@@ -29,6 +33,112 @@ void banner(const std::string& experiment, const std::string& paper_claim);
 void row(const std::string& label, const RunReport& report);
 void note(const std::string& text);
 
+// ---- measurement harness ------------------------------------------------
+
+/// Per-optimization-level metrics for one figure configuration: the
+/// communication counters from the simulated run plus host wall times for
+/// the compile and the run (medians over the timed repetitions).
+struct LevelMetrics {
+  std::string level;                     ///< "O0" | "O1" | "O2"
+  int copies_performed = 0;              ///< remapping copies that happened
+  std::uint64_t elements_copied = 0;
+  std::uint64_t remote_messages = 0;
+  std::uint64_t remote_bytes = 0;
+  int skipped_status_guard = 0;          ///< guard found array well-mapped
+  int skipped_live_copy = 0;             ///< guard reused a live copy
+  double sim_time_ms = 0.0;              ///< simulated machine time
+  double compile_wall_ms = 0.0;          ///< median host compile time
+  /// Median host time of the simulated run alone (the sequential oracle
+  /// used for cross-checking is executed outside the timed region).
+  double run_wall_ms = 0.0;
+};
+
+/// Converts a simulated-run report into per-level metrics.
+LevelMetrics metrics_from(const std::string& level, const RunReport& report,
+                          double compile_wall_ms = 0.0,
+                          double run_wall_ms = 0.0);
+/// The classic text row, from already-converted metrics.
+void row(const std::string& label, const LevelMetrics& metrics);
+
+/// One measured configuration of a paper figure ("fig02", "P=4 n=64").
+struct FigureRecord {
+  std::string figure;
+  std::string config;
+  std::vector<LevelMetrics> levels;
+};
+
+/// Harness options parsed from the command line.  Recognized flags are
+/// removed from argv so the remainder can still go to Google Benchmark.
+///
+///   --json=PATH   write the collected metrics as JSON to PATH
+///   --reps=N      timed repetitions per measurement (default 3)
+///   --warmup=N    untimed warm-up repetitions per measurement (default 1)
+///   --seed=N      branch-decision seed for the simulated runs (default 7)
+///   --no-gbench   skip the Google Benchmark micro-benchmarks
+struct HarnessOptions {
+  int reps = 3;
+  int warmup = 1;
+  unsigned seed = 7;
+  std::string json_path;
+  bool run_google_benchmarks = true;
+
+  static HarnessOptions parse(int& argc, char** argv);
+};
+
+/// Collects per-figure measurements and serializes them to JSON.  The
+/// classic text rows keep printing so EXPERIMENTS.md stays reproducible.
+class Harness {
+ public:
+  using Factory = std::function<hpfc::ir::Program()>;
+
+  Harness(std::string bench_name, HarnessOptions options);
+
+  /// Compiles the factory's program at each level (wall-timed with
+  /// warm-up and repetitions), runs it checked against the oracle,
+  /// prints the classic row, and records a FigureRecord level entry.
+  /// `seed` of 0 means "use the harness-wide seed".
+  void measure(const std::string& figure, const std::string& config,
+               const Factory& factory,
+               std::vector<OptLevel> levels = {OptLevel::O0, OptLevel::O1,
+                                               OptLevel::O2},
+               unsigned seed = 0);
+
+  /// Records an externally produced run (for benches with bespoke
+  /// measurement loops, e.g. per-seed live-copy paths).
+  void record(const std::string& figure, const std::string& config,
+              const std::string& level, const RunReport& report,
+              double compile_wall_ms = 0.0, double run_wall_ms = 0.0);
+
+  /// Records a timing-only entry (analysis/optimization scaling rows
+  /// that have no simulated run attached).
+  void record_timing(const std::string& figure, const std::string& config,
+                     const std::string& level, double wall_ms);
+
+  [[nodiscard]] const HarnessOptions& options() const { return options_; }
+  [[nodiscard]] const std::vector<FigureRecord>& records() const {
+    return records_;
+  }
+
+  /// Writes the collected records to options().json_path (no-op and true
+  /// when no path was requested; false on I/O failure).
+  [[nodiscard]] bool write_json() const;
+
+ private:
+  LevelMetrics measure_level(const Factory& factory, OptLevel level,
+                             unsigned seed);
+  FigureRecord& entry(const std::string& figure, const std::string& config);
+
+  std::string bench_name_;
+  HarnessOptions options_;
+  std::vector<FigureRecord> records_;
+};
+
+/// Shared main for every bench executable: parses harness flags, runs
+/// `body` to collect measurements, writes JSON when requested, then runs
+/// the executable's Google Benchmark suite (unless --no-gbench).
+int bench_main(int argc, char** argv, const std::string& bench_name,
+               const std::function<void(Harness&)>& body);
+
 // ---- program factories (paper figures at scalable sizes) ---------------
 
 /// Figure 1: realign + redistribute of A (direct-remapping motivation).
@@ -43,8 +153,11 @@ hpfc::ir::Program fig4(hpfc::mapping::Extent n, int procs);
 /// Figure 10: the ADI-like routine with `sweeps` loop iterations.
 hpfc::ir::Program fig10(hpfc::mapping::Extent n, int procs,
                         hpfc::mapping::Extent sweeps);
-/// Figure 13: flow-dependent live copy.
-hpfc::ir::Program fig13(hpfc::mapping::Extent n, int procs);
+/// Figure 13: flow-dependent live copy.  With `useless_tail` a trailing
+/// remapping no use reaches is appended, so the same workload also
+/// exercises O1's useless-remapping removal.
+hpfc::ir::Program fig13(hpfc::mapping::Extent n, int procs,
+                        bool useless_tail = false);
 /// Figure 16: loop-invariant remappings over `trips` iterations.
 hpfc::ir::Program fig16(hpfc::mapping::Extent n, int procs,
                         hpfc::mapping::Extent trips);

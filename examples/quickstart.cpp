@@ -15,7 +15,8 @@ using mapping::Shape;
 
 int main() {
   // The Figure 7 program: one array, one redistribution, uses before and
-  // after.
+  // after — plus a final restore of the initial mapping that O1/O2
+  // recognize as useless (no use reaches it) and remove.
   hpf::ProgramBuilder b("quickstart");
   b.procs("P", Shape{4});
   b.array("A", Shape{32});
@@ -24,6 +25,7 @@ int main() {
   b.use({"A"}, "S1");
   b.redistribute("A", {DistFormat::block()}, "", "1");
   b.use({"A"}, "S2");
+  b.redistribute("A", {DistFormat::cyclic()}, "", "2");
 
   DiagnosticEngine diags;
   driver::CompileOptions options;

@@ -1,0 +1,54 @@
+# Smoke test for the hpfc CLI, run as a ctest script test:
+#   cmake -DHPFC_BIN=<path-to-hpfc> -DHPFC_SOURCE_DIR=<repo-root> -P cli_smoke.cmake
+#
+# Compiles examples/quickstart.hpf (the HPF-lite form of
+# examples/quickstart.cpp) at all three levels via --run --compare and
+# asserts:
+#   1. exit code 0 with every level matching the sequential oracle, and
+#   2. O2 copies strictly fewer elements than O0 (the final
+#      mapping-restoring redistribution is removed as useless).
+if(NOT DEFINED HPFC_BIN)
+  message(FATAL_ERROR "cli_smoke: pass -DHPFC_BIN=<path to hpfc>")
+endif()
+if(NOT DEFINED HPFC_SOURCE_DIR)
+  get_filename_component(HPFC_SOURCE_DIR "${CMAKE_CURRENT_LIST_DIR}/.." ABSOLUTE)
+endif()
+
+execute_process(
+  COMMAND "${HPFC_BIN}" "${HPFC_SOURCE_DIR}/examples/quickstart.hpf"
+          --run --compare --validate
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE status)
+
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR
+    "cli_smoke: hpfc exited with ${status}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+foreach(level O0 O1 O2)
+  if(NOT out MATCHES "${level}: [0-9]+ copies")
+    message(FATAL_ERROR "cli_smoke: missing ${level} row in output:\n${out}")
+  endif()
+endforeach()
+
+if(out MATCHES "MISMATCH")
+  message(FATAL_ERROR "cli_smoke: a level diverged from the oracle:\n${out}")
+endif()
+
+string(REGEX MATCH "O0: [0-9]+ copies \\(([0-9]+) elems\\)" _ "${out}")
+set(o0_elems "${CMAKE_MATCH_1}")
+string(REGEX MATCH "O2: [0-9]+ copies \\(([0-9]+) elems\\)" _ "${out}")
+set(o2_elems "${CMAKE_MATCH_1}")
+if(o0_elems STREQUAL "" OR o2_elems STREQUAL "")
+  message(FATAL_ERROR "cli_smoke: could not parse copy counts from:\n${out}")
+endif()
+
+if(NOT o2_elems LESS o0_elems)
+  message(FATAL_ERROR
+    "cli_smoke: expected O2 to copy strictly fewer elements than O0 "
+    "(O0=${o0_elems}, O2=${o2_elems}):\n${out}")
+endif()
+
+message(STATUS
+  "cli_smoke: OK (O0 copied ${o0_elems} elems, O2 copied ${o2_elems})")

@@ -21,7 +21,9 @@ Compiled compile_builder(ProgramBuilder& b, OptLevel level,
   driver::CompileOptions options;
   options.level = level;
   Compiled c = driver::compile(b.finish(diags), options, diags);
-  if (expect_ok) EXPECT_TRUE(c.ok) << diags.to_string();
+  if (expect_ok) {
+    EXPECT_TRUE(c.ok) << diags.to_string();
+  }
   return c;
 }
 

@@ -81,7 +81,9 @@ TEST(Cfg, EmptyElseStillJoins) {
   const ir::Program program = b.finish(diags);
   const ir::Cfg cfg = ir::Cfg::build(program);
   for (const auto& n : cfg.nodes())
-    if (n.kind == ir::CfgKind::Join) EXPECT_EQ(n.preds.size(), 2u);
+    if (n.kind == ir::CfgKind::Join) {
+      EXPECT_EQ(n.preds.size(), 2u);
+    }
 }
 
 TEST(Cfg, ZeroTripLoopHasBypassEdge) {
@@ -118,7 +120,9 @@ TEST(Cfg, NonZeroTripLoopUsesLatch) {
   const ir::Cfg cfg = ir::Cfg::build(program);
   bool saw_latch = false;
   for (const auto& n : cfg.nodes()) {
-    if (n.kind == ir::CfgKind::LoopHead) EXPECT_EQ(n.succs.size(), 1u);
+    if (n.kind == ir::CfgKind::LoopHead) {
+      EXPECT_EQ(n.succs.size(), 1u);
+    }
     if (n.kind == ir::CfgKind::LoopLatch) {
       saw_latch = true;
       EXPECT_EQ(n.succs.size(), 2u);  // back edge + exit
@@ -214,8 +218,11 @@ TEST(RemapGraph, TrivialRedistributeIsNotARemapping) {
   ASSERT_TRUE(analysis.ok);
   const ir::ArrayId a = program.find_array("A");
   EXPECT_EQ(analysis.version_count(a), 1);
-  for (const auto& v : analysis.graph.vertices())
-    if (v.name == "1") EXPECT_TRUE(v.arrays.empty());
+  for (const auto& v : analysis.graph.vertices()) {
+    if (v.name == "1") {
+      EXPECT_TRUE(v.arrays.empty());
+    }
+  }
 }
 
 TEST(RemapGraph, EdgeLabelsAreRestrictedToRemappedArrays) {
@@ -241,8 +248,12 @@ TEST(RemapGraph, EdgeLabelsAreRestrictedToRemappedArrays) {
   for (const auto& edge : analysis.graph.edges()) {
     const auto& from = analysis.graph.vertex(edge.from);
     for (const ir::ArrayId arr : edge.arrays) {
-      if (from.name == "1") EXPECT_EQ(arr, a);
-      if (from.name == "2") EXPECT_EQ(arr, bb);
+      if (from.name == "1") {
+        EXPECT_EQ(arr, a);
+      }
+      if (from.name == "2") {
+        EXPECT_EQ(arr, bb);
+      }
     }
   }
 }
@@ -262,8 +273,11 @@ TEST(RemapGraph, BranchConditionsCountAsReads) {
   remap::Analysis analysis = remap::analyze(program, diags);
   ASSERT_TRUE(analysis.ok);
   const ir::ArrayId bb = program.find_array("B");
-  for (const auto& v : analysis.graph.vertices())
-    if (v.name == "1") EXPECT_EQ(v.arrays.at(bb).use.letter(), 'R');
+  for (const auto& v : analysis.graph.vertices()) {
+    if (v.name == "1") {
+      EXPECT_EQ(v.arrays.at(bb).use.letter(), 'R');
+    }
+  }
 }
 
 TEST(RemapGraph, RealignOntoUndistributedTemplateIsAnError) {

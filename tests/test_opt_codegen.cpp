@@ -278,7 +278,9 @@ TEST(Codegen, GuardStructureIsWellFormed) {
   const std::function<void(const codegen::OpList&, int)> walk =
       [&](const codegen::OpList& ops, int depth) {
         for (const auto& op : ops) {
-          if (op.kind == codegen::OpKind::Copy) EXPECT_GE(depth, 3);
+          if (op.kind == codegen::OpKind::Copy) {
+            EXPECT_GE(depth, 3);
+          }
           const bool nests = op.kind == codegen::OpKind::IfStatusNe ||
                              op.kind == codegen::OpKind::IfStatusEq ||
                              op.kind == codegen::OpKind::IfNotLive ||
