@@ -115,6 +115,7 @@ LevelMetrics metrics_from(const std::string& level, const RunReport& report,
   metrics.elements_copied = report.elements_copied;
   metrics.remote_messages = report.net.messages;
   metrics.remote_bytes = report.net.bytes;
+  metrics.pack_segments = report.net.segments;
   metrics.skipped_status_guard = report.skipped_already_mapped;
   metrics.skipped_live_copy = report.skipped_live_copy;
   metrics.sim_time_ms = report.net.sim_time * 1e3;
@@ -266,6 +267,7 @@ bool Harness::write_json() const {
          << ", \"elements_copied\": " << m.elements_copied
          << ", \"remote_messages\": " << m.remote_messages
          << ", \"remote_bytes\": " << m.remote_bytes
+         << ", \"pack_segments\": " << m.pack_segments
          << ", \"skipped_status_guard\": " << m.skipped_status_guard
          << ", \"skipped_live_copy\": " << m.skipped_live_copy
          << ", \"sim_time_ms\": " << m.sim_time_ms

@@ -44,6 +44,9 @@ struct LevelMetrics {
   std::uint64_t elements_copied = 0;
   std::uint64_t remote_messages = 0;
   std::uint64_t remote_bytes = 0;
+  /// Bulk-copy segments across all payloads: pack granularity
+  /// (elements_copied / pack_segments is the mean copy length).
+  std::uint64_t pack_segments = 0;
   int skipped_status_guard = 0;          ///< guard found array well-mapped
   int skipped_live_copy = 0;             ///< guard reused a live copy
   double sim_time_ms = 0.0;              ///< simulated machine time

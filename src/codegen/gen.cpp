@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <tuple>
 
 #include "support/check.hpp"
 
@@ -49,6 +50,7 @@ class Generator {
       }
     }
     emit_exit_cleanup(code);
+    code.plan_slots = static_cast<int>(plan_slot_ids_.size());
     return code;
   }
 
@@ -149,6 +151,7 @@ class Generator {
         Op copy = make(OpKind::Copy, a, leaving);
         copy.src_version = src;
         copy.region = label.live_region;
+        copy.plan_slot = plan_slot(a, src, leaving, label.live_region);
         dispatch.body.push_back(std::move(copy));
         live_body.push_back(std::move(dispatch));
       }
@@ -219,10 +222,20 @@ class Generator {
     }
   }
 
+  /// Copies with identical (array, src, dst, region) redistribute through
+  /// the same communication plan; they share one runtime cache slot.
+  int plan_slot(ArrayId a, int src, int dst, const ir::Region& region) {
+    const auto [it, inserted] = plan_slot_ids_.try_emplace(
+        std::make_tuple(a, src, dst, region),
+        static_cast<int>(plan_slot_ids_.size()));
+    return it->second;
+  }
+
   const ir::Program& program_;
   const remap::Analysis& analysis_;
   const CodegenOptions& options_;
   std::map<std::pair<int, ArrayId>, int> save_slot_;
+  std::map<std::tuple<ArrayId, int, int, ir::Region>, int> plan_slot_ids_;
 };
 
 }  // namespace

@@ -32,6 +32,10 @@ struct Op {
   int src_version = -1;  ///< Copy only
   bool flag = false;     ///< SetLive only
   int slot = -1;         ///< SaveStatus / IfSavedEq
+  /// Copy only: index of this copy's transfer-program cache slot. Copies
+  /// with the same (array, versions, region) share a slot, so the runtime
+  /// compiles each distinct redistribution once and indexes a flat table.
+  int plan_slot = -1;
   /// Copy only: when non-empty, communication is restricted to this
   /// rectangle (§4.3 live-region refinement).
   ir::Region region;
@@ -47,6 +51,7 @@ struct RuntimeProgram {
   OpList at_entry;  ///< status / live-flag initialization (Figure 19 loop 1)
   OpList at_exit;   ///< final cleanup (Figure 19 last loop)
   int save_slots = 0;
+  int plan_slots = 0;  ///< number of distinct Copy plan-cache slots
 
   [[nodiscard]] std::string to_text(const ir::Program& program) const;
 

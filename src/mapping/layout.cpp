@@ -10,6 +10,23 @@ namespace hpfc::mapping {
 
 namespace {
 
+Index floor_div(Index a, Index b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+Index ceil_div(Index a, Index b) {
+  return a > 0 ? (a + b - 1) / b : -(-a / b);
+}
+
+/// The i-interval [lo, hi) whose affine template image s*i + o lies in the
+/// template window [w0, w1).
+std::pair<Index, Index> window_to_interval(Extent s, Extent o, Index w0,
+                                           Index w1) {
+  if (s > 0) return {ceil_div(w0 - o, s), ceil_div(w1 - o, s)};
+  const Extent t = -s;  // w0 <= s*i+o < w1  <=>  (o-w1)/t < i <= (o-w0)/t
+  return {floor_div(o - w1, t) + 1, floor_div(o - w0, t) + 1};
+}
+
 /// Canonicalizes one owner rule so that placement-equal layouts compare
 /// equal structurally. See header comment.
 DimOwner canonicalize(DimOwner owner, Extent procs, Extent array_extent) {
@@ -110,6 +127,89 @@ std::vector<Index> ConcreteLayout::axis_indices(int p, Extent coord) const {
   return indices;
 }
 
+IndexRuns ConcreteLayout::axis_runs(int p, Extent coord) const {
+  const DimOwner& owner = owners_[static_cast<std::size_t>(p)];
+  HPFC_ASSERT(owner.source.kind == AlignTarget::Kind::Axis);
+  const Extent n = array_shape_.extent(owner.source.array_dim);
+  const Extent s = owner.source.stride;
+  const Extent o = owner.source.offset;
+  const Extent k = owner.format.param;
+  const Extent procs = proc_shape_.extent(p);
+
+  if (owner.format.kind == DistFormat::Kind::Block) {
+    // One template window [coord*k, (coord+1)*k) -> one index interval.
+    auto [lo, hi] = window_to_interval(s, o, coord * k, (coord + 1) * k);
+    return IndexRuns::interval(std::max<Index>(lo, 0), std::min<Index>(hi, n));
+  }
+
+  HPFC_ASSERT(owner.format.kind == DistFormat::Kind::Cyclic);
+  // Ownership is periodic in i with period cycle/gcd(|s|, cycle): the
+  // template phase advances by s*period, a multiple of the cycle.
+  const Extent cycle = k * procs;
+  const Extent period =
+      std::min<Extent>(cycle / gcd64(s < 0 ? -s : s, cycle), n);
+  // Template image of one period window [0, period).
+  const Extent t_lo = s > 0 ? o : s * (period - 1) + o;
+  const Extent t_hi = s > 0 ? s * (period - 1) + o : o;
+  // Owned template windows [(coord + j*procs)*k, +k) overlapping the image.
+  const Extent j_lo = ceil_div(t_lo - k + 1 - coord * k, cycle);
+  const Extent j_hi = floor_div(t_hi - coord * k, cycle);
+  std::vector<IndexRun> runs;
+  for (Extent j = j_lo; j <= j_hi; ++j) {
+    const Index w0 = (coord + j * procs) * k;
+    auto [lo, hi] = window_to_interval(s, o, w0, w0 + k);
+    lo = std::max<Index>(lo, 0);
+    hi = std::min<Index>(hi, period);
+    if (lo < hi) runs.push_back({lo, 1, hi - lo});
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const IndexRun& a, const IndexRun& b) {
+              return a.offset < b.offset;
+            });
+  return IndexRuns(0, period, std::move(runs), n);
+}
+
+std::vector<IndexRuns> ConcreteLayout::owned_index_runs(
+    int rank, bool for_sending) const {
+  HPFC_ASSERT(rank >= 0 && rank < ranks());
+  const IndexVec coords = proc_shape_.delinearize(rank);
+
+  std::vector<IndexRuns> runs(static_cast<std::size_t>(array_shape_.rank()));
+  for (int d = 0; d < array_shape_.rank(); ++d)
+    runs[static_cast<std::size_t>(d)] =
+        IndexRuns::interval(0, array_shape_.extent(d));
+
+  for (int p = 0; p < proc_shape_.rank(); ++p) {
+    const DimOwner& owner = owners_[static_cast<std::size_t>(p)];
+    const Extent coord = coords[static_cast<std::size_t>(p)];
+    switch (owner.source.kind) {
+      case AlignTarget::Kind::Replicated:
+        if (for_sending && coord != 0) {
+          for (auto& r : runs) r = IndexRuns{};
+          return runs;
+        }
+        break;
+      case AlignTarget::Kind::Constant:
+        if (coord_of_template(p, owner.source.offset) != coord) {
+          for (auto& r : runs) r = IndexRuns{};
+          return runs;
+        }
+        break;
+      case AlignTarget::Kind::Axis:
+        runs[static_cast<std::size_t>(owner.source.array_dim)] =
+            axis_runs(p, coord);
+        break;
+    }
+  }
+  for (const auto& r : runs) {
+    if (r.empty()) {
+      for (auto& other : runs) other = IndexRuns{};
+      break;
+    }
+  }
+  return runs;
+}
+
 std::vector<std::vector<Index>> ConcreteLayout::owned_index_lists(
     int rank, bool for_sending) const {
   HPFC_ASSERT(rank >= 0 && rank < ranks());
@@ -160,9 +260,9 @@ std::vector<std::vector<Index>> ConcreteLayout::owned_index_lists(
 }
 
 Extent ConcreteLayout::local_count(int rank) const {
-  const auto lists = owned_index_lists(rank);
+  const auto runs = owned_index_runs(rank);
   Extent count = 1;
-  for (const auto& list : lists) count *= static_cast<Extent>(list.size());
+  for (const auto& r : runs) count *= r.count();
   return array_shape_.rank() == 0 ? 1 : count;
 }
 

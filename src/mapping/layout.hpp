@@ -25,6 +25,7 @@
 
 #include "mapping/align.hpp"
 #include "mapping/dist.hpp"
+#include "mapping/runs.hpp"
 #include "mapping/shape.hpp"
 
 namespace hpfc::mapping {
@@ -68,6 +69,13 @@ class ConcreteLayout {
   [[nodiscard]] std::vector<std::vector<Index>> owned_index_lists(
       int rank, bool for_sending = false) const;
 
+  /// The same per-dimension ownership sets as owned_index_lists, but in
+  /// closed form: a BLOCK dimension is one interval, a CYCLIC(k) dimension
+  /// a periodic run pattern whose size is independent of the array extent.
+  /// Materializing each dimension yields exactly owned_index_lists.
+  [[nodiscard]] std::vector<IndexRuns> owned_index_runs(
+      int rank, bool for_sending = false) const;
+
   [[nodiscard]] Extent local_count(int rank) const;
   [[nodiscard]] bool owns(int rank, std::span<const Index> global) const;
   /// All ranks owning `global` (more than one under replication).
@@ -99,6 +107,10 @@ class ConcreteLayout {
   /// Sorted array indices along `array_dim` constrained by grid dim p at
   /// coordinate `coord` (Axis sources only).
   [[nodiscard]] std::vector<Index> axis_indices(int p, Extent coord) const;
+
+  /// Closed-form run set equivalent to axis_indices: O(1) intervals for
+  /// Block formats, per-period runs for Cyclic formats.
+  [[nodiscard]] IndexRuns axis_runs(int p, Extent coord) const;
 
   Shape array_shape_;
   Shape proc_shape_;

@@ -15,6 +15,9 @@ struct Message {
   Rank dst = 0;
   int tag = 0;
   std::vector<double> payload;
+  /// Number of bulk-copy segments the sender packed the payload with
+  /// (pack granularity; 0 when the producer does not track segments).
+  int segments = 0;
 
   [[nodiscard]] std::uint64_t bytes() const {
     return static_cast<std::uint64_t>(payload.size()) * sizeof(double);

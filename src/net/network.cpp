@@ -13,6 +13,7 @@ NetStats& NetStats::operator+=(const NetStats& other) {
   bytes += other.bytes;
   local_copies += other.local_copies;
   local_bytes += other.local_bytes;
+  segments += other.segments;
   supersteps += other.supersteps;
   sim_time += other.sim_time;
   return *this;
@@ -23,6 +24,7 @@ NetStats operator-(NetStats a, const NetStats& b) {
   a.bytes -= b.bytes;
   a.local_copies -= b.local_copies;
   a.local_bytes -= b.local_bytes;
+  a.segments -= b.segments;
   a.supersteps -= b.supersteps;
   a.sim_time -= b.sim_time;
   return a;
@@ -32,7 +34,8 @@ std::string NetStats::summary() const {
   std::ostringstream os;
   os << messages << " msgs, " << format_bytes(bytes) << ", "
      << local_copies << " local copies (" << format_bytes(local_bytes)
-     << "), " << supersteps << " steps, " << sim_time * 1e3 << " ms";
+     << "), " << segments << " segs, " << supersteps << " steps, "
+     << sim_time * 1e3 << " ms";
   return os.str();
 }
 
@@ -54,6 +57,7 @@ std::vector<std::vector<Message>> SimNetwork::exchange(
       HPFC_ASSERT_MSG(msg.src == src, "message src must match its outbox");
       HPFC_ASSERT_MSG(msg.dst >= 0 && msg.dst < ranks_, "bad destination");
       const std::uint64_t nbytes = msg.bytes();
+      stats_.segments += static_cast<std::uint64_t>(msg.segments);
       if (msg.dst == src) {
         stats_.local_copies += 1;
         stats_.local_bytes += nbytes;

@@ -27,6 +27,9 @@ struct NetStats {
   std::uint64_t bytes = 0;         ///< off-rank payload bytes
   std::uint64_t local_copies = 0;  ///< on-rank (src==dst) deliveries
   std::uint64_t local_bytes = 0;
+  /// Bulk-copy segments across all delivered payloads (local and remote):
+  /// the pack granularity — elements / segments is the mean copy length.
+  std::uint64_t segments = 0;
   std::uint64_t supersteps = 0;
   double sim_time = 0.0;  ///< seconds under the cost model
 

@@ -1,11 +1,8 @@
 #include "redist/commsets.hpp"
 
 #include <algorithm>
-#include <numeric>
-#include <optional>
 #include <sstream>
 
-#include "redist/progression.hpp"
 #include "support/check.hpp"
 
 namespace hpfc::redist {
@@ -20,50 +17,16 @@ std::vector<Index> intersect_sorted(const std::vector<Index>& a,
   return result;
 }
 
-/// Per-rank ownership digest used by the periodic builder: whether the rank
-/// owns anything at all, and an optional pattern per constrained array dim.
-struct RankPatterns {
-  bool alive = true;
-  /// One optional pattern per array dimension; nullopt = unconstrained.
-  std::vector<std::optional<PeriodicPattern>> per_dim;
-};
-
-RankPatterns rank_patterns(const ConcreteLayout& layout, int rank,
-                           bool for_sending) {
-  using mapping::AlignTarget;
-  RankPatterns result;
-  result.per_dim.resize(
-      static_cast<std::size_t>(layout.array_shape().rank()));
-  const auto coords = layout.proc_shape().delinearize(rank);
-  for (int p = 0; p < layout.proc_shape().rank(); ++p) {
-    const auto& owner = layout.owners()[static_cast<std::size_t>(p)];
-    const Extent coord = coords[static_cast<std::size_t>(p)];
-    switch (owner.source.kind) {
-      case AlignTarget::Kind::Replicated:
-        if (for_sending && coord != 0) result.alive = false;
-        break;
-      case AlignTarget::Kind::Constant:
-        if (layout.coord_of_template(p, owner.source.offset) != coord)
-          result.alive = false;
-        break;
-      case AlignTarget::Kind::Axis: {
-        auto pattern = PeriodicPattern::from_dim_owner(
-            owner, layout.proc_shape().extent(p), coord,
-            layout.array_shape().extent(owner.source.array_dim));
-        if (pattern.count() == 0) result.alive = false;
-        result.per_dim[static_cast<std::size_t>(owner.source.array_dim)] =
-            std::move(pattern);
-        break;
-      }
-    }
-  }
-  return result;
+/// A rank owning nothing sends/receives nothing; with dims == 0 (scalar
+/// arrays) ownership is decided by the grid-dim checks alone, which the
+/// per-dimension sets cannot express — treat the rank as alive, matching
+/// the oracle's behavior.
+bool alive(const std::vector<std::vector<Index>>& lists) {
+  return lists.empty() || !lists.front().empty();
 }
 
-std::vector<Index> full_range(Extent n) {
-  std::vector<Index> all(static_cast<std::size_t>(n));
-  std::iota(all.begin(), all.end(), Index{0});
-  return all;
+bool alive(const std::vector<IndexRuns>& runs) {
+  return runs.empty() || !runs.front().empty();
 }
 
 }  // namespace
@@ -95,25 +58,96 @@ std::string RedistPlan::summary() const {
   return os.str();
 }
 
+Extent TransferV2::count() const {
+  Extent product = 1;
+  for (const auto& runs : dim_runs) product *= runs.count();
+  return product;
+}
+
+bool TransferV2::restrict_to(
+    const std::vector<std::pair<Index, Index>>& region) {
+  HPFC_ASSERT(region.size() == dim_runs.size());
+  for (std::size_t d = 0; d < dim_runs.size(); ++d) {
+    dim_runs[d] = dim_runs[d].restrict_to(region[d].first, region[d].second);
+    if (dim_runs[d].empty()) return false;
+  }
+  return true;
+}
+
+Transfer TransferV2::materialize() const {
+  Transfer transfer;
+  transfer.src = src;
+  transfer.dst = dst;
+  transfer.dim_indices.reserve(dim_runs.size());
+  for (const auto& runs : dim_runs)
+    transfer.dim_indices.push_back(runs.materialize());
+  return transfer;
+}
+
+Extent RedistPlanV2::total_elements() const {
+  Extent total = 0;
+  for (const auto& t : transfers) total += t.count();
+  return total;
+}
+
+int RedistPlanV2::remote_transfers() const {
+  int count = 0;
+  for (const auto& t : transfers)
+    if (t.src != t.dst) ++count;
+  return count;
+}
+
+RedistPlan RedistPlanV2::materialize() const {
+  RedistPlan plan;
+  plan.transfers.reserve(transfers.size());
+  for (const auto& t : transfers) plan.transfers.push_back(t.materialize());
+  return plan;
+}
+
+std::string RedistPlanV2::summary() const {
+  std::ostringstream os;
+  std::size_t runs = 0;
+  for (const auto& t : transfers)
+    for (const auto& r : t.dim_runs) runs += r.runs().size();
+  os << transfers.size() << " transfers (" << remote_transfers()
+     << " remote), " << total_elements() << " elements, " << runs << " runs";
+  return os.str();
+}
+
 RedistPlan build(const ConcreteLayout& from, const ConcreteLayout& to) {
   HPFC_ASSERT_MSG(from.array_shape() == to.array_shape(),
                   "redistribution requires identical array shapes");
   RedistPlan plan;
   const int dims = from.array_shape().rank();
 
+  // Ownership lists are O(extent) to compute: one pass per endpoint rank,
+  // not one per (src, dst) pair.
+  std::vector<std::vector<std::vector<Index>>> dst_lists;
+  dst_lists.reserve(static_cast<std::size_t>(to.ranks()));
+  int alive_dsts = 0;
+  for (int dst = 0; dst < to.ranks(); ++dst) {
+    dst_lists.push_back(to.owned_index_lists(dst));
+    if (alive(dst_lists.back())) ++alive_dsts;
+  }
+  plan.transfers.reserve(static_cast<std::size_t>(from.ranks()) *
+                         static_cast<std::size_t>(alive_dsts));
+
   for (int src = 0; src < from.ranks(); ++src) {
     const auto src_lists = from.owned_index_lists(src, /*for_sending=*/true);
-    if (!src_lists.empty() && src_lists.front().empty() && dims > 0) continue;
+    if (!alive(src_lists)) continue;
     for (int dst = 0; dst < to.ranks(); ++dst) {
-      const auto dst_lists = to.owned_index_lists(dst);
+      const auto& dst_list = dst_lists[static_cast<std::size_t>(dst)];
+      if (!alive(dst_list)) continue;
       Transfer transfer;
       transfer.src = src;
       transfer.dst = dst;
       transfer.dim_indices.reserve(static_cast<std::size_t>(dims));
       bool empty = false;
+      // The pair is dropped as soon as one dimension's intersection is
+      // empty — later dimensions are never computed.
       for (int d = 0; d < dims; ++d) {
         auto common = intersect_sorted(src_lists[static_cast<std::size_t>(d)],
-                                       dst_lists[static_cast<std::size_t>(d)]);
+                                       dst_list[static_cast<std::size_t>(d)]);
         if (common.empty()) {
           empty = true;
           break;
@@ -126,57 +160,56 @@ RedistPlan build(const ConcreteLayout& from, const ConcreteLayout& to) {
   return plan;
 }
 
-RedistPlan build_periodic(const ConcreteLayout& from,
-                          const ConcreteLayout& to) {
+RedistPlanV2 build_runs(const ConcreteLayout& from, const ConcreteLayout& to) {
   HPFC_ASSERT_MSG(from.array_shape() == to.array_shape(),
                   "redistribution requires identical array shapes");
-  RedistPlan plan;
+  RedistPlanV2 plan;
   const int dims = from.array_shape().rank();
 
-  std::vector<RankPatterns> senders;
-  senders.reserve(static_cast<std::size_t>(from.ranks()));
+  std::vector<std::vector<IndexRuns>> src_runs;
+  src_runs.reserve(static_cast<std::size_t>(from.ranks()));
   for (int src = 0; src < from.ranks(); ++src)
-    senders.push_back(rank_patterns(from, src, /*for_sending=*/true));
-
-  std::vector<RankPatterns> receivers;
-  receivers.reserve(static_cast<std::size_t>(to.ranks()));
-  for (int dst = 0; dst < to.ranks(); ++dst)
-    receivers.push_back(rank_patterns(to, dst, /*for_sending=*/false));
+    src_runs.push_back(from.owned_index_runs(src, /*for_sending=*/true));
+  std::vector<std::vector<IndexRuns>> dst_runs;
+  dst_runs.reserve(static_cast<std::size_t>(to.ranks()));
+  int alive_dsts = 0;
+  for (int dst = 0; dst < to.ranks(); ++dst) {
+    dst_runs.push_back(to.owned_index_runs(dst));
+    if (alive(dst_runs.back())) ++alive_dsts;
+  }
+  plan.transfers.reserve(static_cast<std::size_t>(from.ranks()) *
+                         static_cast<std::size_t>(alive_dsts));
 
   for (int src = 0; src < from.ranks(); ++src) {
-    const auto& sp = senders[static_cast<std::size_t>(src)];
-    if (!sp.alive) continue;
+    const auto& sr = src_runs[static_cast<std::size_t>(src)];
+    if (!alive(sr)) continue;
     for (int dst = 0; dst < to.ranks(); ++dst) {
-      const auto& rp = receivers[static_cast<std::size_t>(dst)];
-      if (!rp.alive) continue;
-      Transfer transfer;
+      const auto& dr = dst_runs[static_cast<std::size_t>(dst)];
+      if (!alive(dr)) continue;
+      TransferV2 transfer;
       transfer.src = src;
       transfer.dst = dst;
-      transfer.dim_indices.reserve(static_cast<std::size_t>(dims));
+      transfer.dim_runs.reserve(static_cast<std::size_t>(dims));
       bool empty = false;
       for (int d = 0; d < dims; ++d) {
-        const auto& a = sp.per_dim[static_cast<std::size_t>(d)];
-        const auto& b = rp.per_dim[static_cast<std::size_t>(d)];
-        std::vector<Index> common;
-        if (a && b) {
-          common = PeriodicPattern::intersect(*a, *b).materialize();
-        } else if (a) {
-          common = a->materialize();
-        } else if (b) {
-          common = b->materialize();
-        } else {
-          common = full_range(from.array_shape().extent(d));
-        }
+        IndexRuns common =
+            IndexRuns::intersect(sr[static_cast<std::size_t>(d)],
+                                 dr[static_cast<std::size_t>(d)]);
         if (common.empty()) {
           empty = true;
           break;
         }
-        transfer.dim_indices.push_back(std::move(common));
+        transfer.dim_runs.push_back(std::move(common));
       }
       if (!empty) plan.transfers.push_back(std::move(transfer));
     }
   }
   return plan;
+}
+
+RedistPlan build_periodic(const ConcreteLayout& from,
+                          const ConcreteLayout& to) {
+  return build_runs(from, to).materialize();
 }
 
 }  // namespace hpfc::redist

@@ -4,15 +4,21 @@
 // product of per-array-dimension index sets under both layouts, each
 // pairwise set is the product of per-dimension intersections.
 //
-// Two implementations are provided:
+// Three implementations are provided:
 //  - build(): sorted-list intersections (the oracle; O(P_s * P_d * N)),
-//  - build_periodic(): periodic-pattern (lcm-window) intersections per
-//    dimension, the efficient method of the paper's reference [19].
-// Tests assert they produce identical transfers.
+//  - build_runs(): closed-form interval-run intersections per dimension
+//    in O(runs) via lcm-window arithmetic (the efficient method of the
+//    paper's reference [19]) — the hot path, producing a RedistPlanV2
+//    whose transfers stay symbolic,
+//  - build_periodic(): the historical materialized form, now a thin
+//    wrapper that materializes build_runs().
+// Tests assert all three produce identical element sets in identical
+// pack order.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mapping/layout.hpp"
@@ -22,6 +28,7 @@ namespace hpfc::redist {
 using mapping::ConcreteLayout;
 using mapping::Extent;
 using mapping::Index;
+using mapping::IndexRuns;
 
 /// One source->destination transfer manifest. Elements are the cartesian
 /// product of `dim_indices`, enumerated in row-major product order (the
@@ -46,12 +53,45 @@ struct RedistPlan {
   [[nodiscard]] std::string summary() const;
 };
 
+/// One source->destination transfer in closed form: the element set is the
+/// cartesian product of per-dimension interval-run sets, enumerated in
+/// row-major product order (each dimension ascending — the same pack order
+/// as the materialized Transfer).
+struct TransferV2 {
+  int src = 0;
+  int dst = 0;
+  std::vector<IndexRuns> dim_runs;
+
+  [[nodiscard]] Extent count() const;
+  /// Restricts every dimension to its live-region slice; returns false
+  /// when the restriction empties the transfer.
+  bool restrict_to(const std::vector<std::pair<Index, Index>>& region);
+  [[nodiscard]] Transfer materialize() const;
+};
+
+struct RedistPlanV2 {
+  std::vector<TransferV2> transfers;
+
+  [[nodiscard]] Extent total_elements() const;
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return static_cast<std::uint64_t>(total_elements()) * sizeof(double);
+  }
+  [[nodiscard]] int remote_transfers() const;
+  [[nodiscard]] RedistPlan materialize() const;
+  [[nodiscard]] std::string summary() const;
+};
+
 /// Oracle communication sets via explicit sorted-list intersection.
 RedistPlan build(const ConcreteLayout& from, const ConcreteLayout& to);
 
-/// Efficient communication sets via periodic-pattern intersection. Falls
-/// back to explicit lists on dimensions where patterns do not apply
-/// (constant/replicated sources).
+/// Efficient communication sets: per-dimension interval-run intersection
+/// of the two block-cyclic ownerships, O(runs) per (src, dst) pair via
+/// lcm-window arithmetic — plan construction never scales with the array
+/// extent for block/cyclic layouts.
+RedistPlanV2 build_runs(const ConcreteLayout& from, const ConcreteLayout& to);
+
+/// The materialized form of build_runs (kept for differential tests and
+/// callers that want explicit index lists).
 RedistPlan build_periodic(const ConcreteLayout& from, const ConcreteLayout& to);
 
 }  // namespace hpfc::redist

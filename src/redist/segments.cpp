@@ -1,0 +1,181 @@
+#include "redist/segments.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/check.hpp"
+
+namespace hpfc::redist {
+
+namespace {
+
+/// One stretch of a dimension's member sequence over which the positions
+/// within both owners' run sets advance with constant per-dimension steps.
+struct DimPiece {
+  Index src_pos0 = 0;
+  Index dst_pos0 = 0;
+  Extent src_step = 0;
+  Extent dst_step = 0;
+  Extent len = 0;
+};
+
+/// Position deltas over a member spacing `st` are constant when the owner
+/// set is a full interval (positions are affine in the index) or when the
+/// spacing covers whole owner periods (the phase is preserved, so the
+/// member count of every stretch is the same).
+bool affine_over(const mapping::IndexRuns& owner, Extent st) {
+  return owner.full() || st % owner.period() == 0;
+}
+
+std::vector<DimPiece> decompose(const mapping::IndexRuns& x,
+                                const mapping::IndexRuns& src,
+                                const mapping::IndexRuns& dst) {
+  std::vector<DimPiece> pieces;
+  const Extent cnt = x.count();
+  if (cnt == 0) return pieces;
+
+  const auto piece_from = [&](Index start, Extent stride, Extent count) {
+    const Index s0 = src.position_of(start);
+    const Index d0 = dst.position_of(start);
+    HPFC_ASSERT_MSG(s0 >= 0 && d0 >= 0,
+                    "transfer element outside its owners' sets");
+    if (count == 1) {
+      pieces.push_back({s0, d0, 0, 0, 1});
+      return;
+    }
+    const Index s1 = src.position_of(start + stride);
+    const Index d1 = dst.position_of(start + stride);
+    HPFC_ASSERT(s1 >= 0 && d1 >= 0);
+    pieces.push_back({s0, d0, s1 - s0, d1 - d0, count});
+  };
+
+  // One member per period with uniform owner stretches: the cross-period
+  // repetition itself is a single arithmetic piece (e.g. block <-> cyclic,
+  // where every period contributes one strided element).
+  if (cnt > 1 && x.count_in_period() == 1 && affine_over(src, x.period()) &&
+      affine_over(dst, x.period())) {
+    piece_from(x.first(), x.period(), cnt);
+    return pieces;
+  }
+
+  x.for_each_instance([&](Index start, Extent stride, Extent count) {
+    if (count == 1 || stride == 1 ||
+        (affine_over(src, stride) && affine_over(dst, stride))) {
+      piece_from(start, stride, count);
+    } else {
+      // Irregular spacing against a finer owner period: fall back to
+      // per-member pieces for this instance only.
+      for (Extent j = 0; j < count; ++j)
+        piece_from(start + j * stride, 1, 1);
+    }
+  });
+  return pieces;
+}
+
+}  // namespace
+
+std::size_t SegmentProgram::contiguous_segments() const {
+  return static_cast<std::size_t>(
+      std::count_if(segments.begin(), segments.end(), [](const CopySegment& s) {
+        return s.src_stride == 1 && s.dst_stride == 1;
+      }));
+}
+
+SegmentProgram compile_transfer(const TransferV2& transfer,
+                                std::span<const IndexRuns> src_owned,
+                                std::span<const IndexRuns> dst_owned) {
+  const int dims = static_cast<int>(transfer.dim_runs.size());
+  HPFC_ASSERT(static_cast<int>(src_owned.size()) == dims &&
+              static_cast<int>(dst_owned.size()) == dims);
+  SegmentProgram program;
+  program.src = transfer.src;
+  program.dst = transfer.dst;
+  program.elements = transfer.count();
+  if (dims == 0) {
+    program.elements = 1;
+    program.segments.push_back({0, 1, 0, 1, 1});
+    return program;
+  }
+  if (program.elements == 0) return program;
+
+  std::vector<std::vector<DimPiece>> pieces(static_cast<std::size_t>(dims));
+  for (int d = 0; d < dims; ++d)
+    pieces[static_cast<std::size_t>(d)] =
+        decompose(transfer.dim_runs[static_cast<std::size_t>(d)],
+                  src_owned[static_cast<std::size_t>(d)],
+                  dst_owned[static_cast<std::size_t>(d)]);
+
+  // Row-major local strides of the owned products at both end points.
+  std::vector<Extent> src_stride(static_cast<std::size_t>(dims), 1);
+  std::vector<Extent> dst_stride(static_cast<std::size_t>(dims), 1);
+  for (int d = dims - 2; d >= 0; --d) {
+    src_stride[static_cast<std::size_t>(d)] =
+        src_stride[static_cast<std::size_t>(d + 1)] *
+        src_owned[static_cast<std::size_t>(d + 1)].count();
+    dst_stride[static_cast<std::size_t>(d)] =
+        dst_stride[static_cast<std::size_t>(d + 1)] *
+        dst_owned[static_cast<std::size_t>(d + 1)].count();
+  }
+
+  const std::function<void(int, Index, Index)> emit = [&](int d, Index src_base,
+                                                          Index dst_base) {
+    const Extent sl = src_stride[static_cast<std::size_t>(d)];
+    const Extent dl = dst_stride[static_cast<std::size_t>(d)];
+    if (d == dims - 1) {
+      for (const DimPiece& piece : pieces[static_cast<std::size_t>(d)]) {
+        program.segments.push_back({src_base + piece.src_pos0 * sl,
+                                    piece.src_step * sl,
+                                    dst_base + piece.dst_pos0 * dl,
+                                    piece.dst_step * dl, piece.len});
+      }
+      return;
+    }
+    for (const DimPiece& piece : pieces[static_cast<std::size_t>(d)]) {
+      for (Extent j = 0; j < piece.len; ++j) {
+        emit(d + 1, src_base + (piece.src_pos0 + j * piece.src_step) * sl,
+             dst_base + (piece.dst_pos0 + j * piece.dst_step) * dl);
+      }
+    }
+  };
+  emit(0, 0, 0);
+
+#ifndef NDEBUG
+  Extent covered = 0;
+  for (const CopySegment& s : program.segments) covered += s.len;
+  HPFC_ASSERT_MSG(covered == program.elements,
+                  "segment program does not cover the transfer");
+#endif
+  return program;
+}
+
+void pack(const SegmentProgram& program, std::span<const double> src_local,
+          std::vector<double>& payload) {
+  payload.resize(static_cast<std::size_t>(program.elements));
+  double* out = payload.data();
+  for (const CopySegment& seg : program.segments) {
+    const double* in = src_local.data() + seg.src_base;
+    if (seg.src_stride == 1) {
+      std::copy_n(in, seg.len, out);
+    } else {
+      for (Extent j = 0; j < seg.len; ++j) out[j] = in[j * seg.src_stride];
+    }
+    out += seg.len;
+  }
+}
+
+void unpack(const SegmentProgram& program, std::span<const double> payload,
+            std::span<double> dst_local) {
+  HPFC_ASSERT(static_cast<Extent>(payload.size()) == program.elements);
+  const double* in = payload.data();
+  for (const CopySegment& seg : program.segments) {
+    double* out = dst_local.data() + seg.dst_base;
+    if (seg.dst_stride == 1) {
+      std::copy_n(in, seg.len, out);
+    } else {
+      for (Extent j = 0; j < seg.len; ++j) out[j * seg.dst_stride] = in[j];
+    }
+    in += seg.len;
+  }
+}
+
+}  // namespace hpfc::redist

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <random>
 #include <sstream>
 
 #include "redist/commsets.hpp"
+#include "redist/segments.hpp"
 #include "support/check.hpp"
 #include "support/strings.hpp"
 
@@ -37,13 +39,6 @@ struct VersionStorage {
   std::uint64_t bytes = 0;
 };
 
-/// Pre-resolved local indices of one transfer (shared pack/unpack order).
-struct TransferProgram {
-  int src = 0;
-  int dst = 0;
-  std::vector<Index> src_locals;
-  std::vector<Index> dst_locals;
-};
 
 class Machine {
  public:
@@ -69,6 +64,8 @@ class Machine {
     saved_.assign(code_ != nullptr ? static_cast<std::size_t>(code_->save_slots)
                                    : 0,
                   -1);
+    plan_slots_.resize(
+        code_ != nullptr ? static_cast<std::size_t>(code_->plan_slots) : 0);
     if (parallel()) {
       // Dummy arguments arrive allocated by the caller with the imported
       // values (zeros initially, like the canonical array).
@@ -285,7 +282,7 @@ class Machine {
         allocate(op.array, op.version);
         break;
       case OpKind::Copy:
-        copy(op.array, op.src_version, op.version, op.region);
+        copy(op.array, op.src_version, op.version, op.region, op.plan_slot);
         break;
       case OpKind::SetLive:
         versions[static_cast<std::size_t>(op.version)].live = op.flag;
@@ -341,27 +338,27 @@ class Machine {
   }
 
   /// The remapping communication: redistribute src version into dst,
-  /// optionally restricted to a live region.
-  void copy(ArrayId a, int src, int dst, const ir::Region& region) {
+  /// optionally restricted to a live region. Payloads are packed and
+  /// scattered with the pre-compiled bulk-copy segments.
+  void copy(ArrayId a, int src, int dst, const ir::Region& region,
+            int plan_slot) {
     allocate(a, src);  // an untouched source is all zeros, like canonical
     allocate(a, dst);
-    const TransferProgram* programs = transfer_programs(a, src, dst, region);
-    const auto& plan = plan_cache_.at(key(a, src, dst, region));
+    const auto& programs = transfer_programs(a, src, dst, region, plan_slot);
 
     std::vector<std::vector<net::Message>> outboxes(
         static_cast<std::size_t>(net_.ranks()));
     auto& from = storage_[static_cast<std::size_t>(a)]
                          [static_cast<std::size_t>(src)];
-    for (std::size_t t = 0; t < plan.transfers.size(); ++t) {
-      const TransferProgram& tp = programs[t];
+    for (std::size_t t = 0; t < programs.size(); ++t) {
+      const redist::SegmentProgram& tp = programs[t];
       net::Message msg;
       msg.src = tp.src;
       msg.dst = tp.dst;
       msg.tag = static_cast<int>(t);
-      msg.payload.reserve(tp.src_locals.size());
-      const auto& src_local = from.locals[static_cast<std::size_t>(tp.src)];
-      for (const Index i : tp.src_locals)
-        msg.payload.push_back(src_local[static_cast<std::size_t>(i)]);
+      msg.segments = static_cast<int>(tp.segments.size());
+      redist::pack(tp, from.locals[static_cast<std::size_t>(tp.src)],
+                   msg.payload);
       outboxes[static_cast<std::size_t>(tp.src)].push_back(std::move(msg));
     }
     const auto inboxes = net_.exchange(std::move(outboxes));
@@ -369,100 +366,48 @@ class Machine {
         storage_[static_cast<std::size_t>(a)][static_cast<std::size_t>(dst)];
     for (const auto& inbox : inboxes) {
       for (const auto& msg : inbox) {
-        const TransferProgram& tp =
+        const redist::SegmentProgram& tp =
             programs[static_cast<std::size_t>(msg.tag)];
-        auto& dst_local = to.locals[static_cast<std::size_t>(tp.dst)];
-        for (std::size_t i = 0; i < msg.payload.size(); ++i)
-          dst_local[static_cast<std::size_t>(tp.dst_locals[i])] =
-              msg.payload[i];
+        redist::unpack(tp, msg.payload,
+                       to.locals[static_cast<std::size_t>(tp.dst)]);
         report_.elements_copied += msg.payload.size();
       }
     }
     ++report_.copies_performed;
   }
 
-  std::uint64_t key(ArrayId a, int src, int dst, const ir::Region& region) {
-    int region_id = 0;
-    if (!region.empty()) {
-      const auto [it, inserted] =
-          region_ids_.try_emplace(region, static_cast<int>(region_ids_.size()) + 1);
-      (void)inserted;
-      region_id = it->second;
-    }
-    return (static_cast<std::uint64_t>(region_id) << 48) |
-           (static_cast<std::uint64_t>(a) << 32) |
-           (static_cast<std::uint64_t>(src) << 16) |
-           static_cast<std::uint64_t>(dst);
-  }
-
-  const TransferProgram* transfer_programs(ArrayId a, int src, int dst,
-                                           const ir::Region& region) {
-    const std::uint64_t k = key(a, src, dst, region);
-    const auto it = program_cache_.find(k);
-    if (it != program_cache_.end()) return it->second.data();
+  const std::vector<redist::SegmentProgram>& transfer_programs(
+      ArrayId a, int src, int dst, const ir::Region& region, int plan_slot) {
+    HPFC_ASSERT_MSG(plan_slot >= 0 &&
+                        plan_slot < static_cast<int>(plan_slots_.size()),
+                    "Copy op without an assigned plan slot");
+    auto& cached = plan_slots_[static_cast<std::size_t>(plan_slot)];
+    if (cached) return *cached;
 
     const ConcreteLayout& from = layout(a, src);
     const ConcreteLayout& to = layout(a, dst);
-    redist::RedistPlan plan = redist::build_periodic(from, to);
-    if (!region.empty()) {
-      // Restrict every transfer to the live rectangle; drop empties.
-      std::vector<redist::Transfer> restricted;
-      for (auto& transfer : plan.transfers) {
-        bool empty = false;
-        for (std::size_t d = 0; d < transfer.dim_indices.size(); ++d) {
-          auto& list = transfer.dim_indices[d];
-          std::erase_if(list, [&](Index i) {
-            return i < region[d].first || i >= region[d].second;
-          });
-          if (list.empty()) empty = true;
-        }
-        if (!empty) restricted.push_back(std::move(transfer));
-      }
-      plan.transfers = std::move(restricted);
-    }
-    std::vector<TransferProgram> programs;
+    redist::RedistPlanV2 plan = redist::build_runs(from, to);
+    std::vector<redist::SegmentProgram> programs;
     programs.reserve(plan.transfers.size());
-    // Owned index lists are O(extent) to compute: do it once per endpoint
-    // rank, not once per element.
-    std::map<int, std::vector<std::vector<Index>>> src_lists;
-    std::map<int, std::vector<std::vector<Index>>> dst_lists;
-    for (const auto& transfer : plan.transfers) {
-      TransferProgram tp;
-      tp.src = transfer.src;
-      tp.dst = transfer.dst;
-      const auto sit = src_lists.try_emplace(
-          tp.src, from.owned_index_lists(tp.src)).first;
-      const auto dit = dst_lists.try_emplace(
-          tp.dst, to.owned_index_lists(tp.dst)).first;
-      const mapping::Extent count = transfer.count();
-      tp.src_locals.reserve(static_cast<std::size_t>(count));
-      tp.dst_locals.reserve(static_cast<std::size_t>(count));
-      // Enumerate the product in row-major order (the shared order).
-      const int dims = static_cast<int>(transfer.dim_indices.size());
-      std::vector<std::size_t> pos(static_cast<std::size_t>(dims), 0);
-      mapping::IndexVec global(static_cast<std::size_t>(dims), 0);
-      for (mapping::Extent e = 0; e < count; ++e) {
-        for (int d = 0; d < dims; ++d)
-          global[static_cast<std::size_t>(d)] =
-              transfer.dim_indices[static_cast<std::size_t>(d)]
-                                  [pos[static_cast<std::size_t>(d)]];
-        tp.src_locals.push_back(
-            ConcreteLayout::position_in_lists(sit->second, global));
-        tp.dst_locals.push_back(
-            ConcreteLayout::position_in_lists(dit->second, global));
-        HPFC_ASSERT(tp.src_locals.back() >= 0 && tp.dst_locals.back() >= 0);
-        for (int d = dims - 1; d >= 0; --d) {
-          auto& p = pos[static_cast<std::size_t>(d)];
-          if (++p < transfer.dim_indices[static_cast<std::size_t>(d)].size())
-            break;
-          p = 0;
-        }
-      }
-      programs.push_back(std::move(tp));
+    // Owned run sets are shared across a rank's transfers: one per
+    // endpoint rank, never per element.
+    std::map<int, std::vector<mapping::IndexRuns>> src_owned;
+    std::map<int, std::vector<mapping::IndexRuns>> dst_owned;
+    for (auto& transfer : plan.transfers) {
+      if (!region.empty() && !transfer.restrict_to(region)) continue;
+      const auto sit = src_owned
+                           .try_emplace(transfer.src,
+                                        from.owned_index_runs(transfer.src))
+                           .first;
+      const auto dit = dst_owned
+                           .try_emplace(transfer.dst,
+                                        to.owned_index_runs(transfer.dst))
+                           .first;
+      programs.push_back(
+          redist::compile_transfer(transfer, sit->second, dit->second));
     }
-    plan_cache_.emplace(k, std::move(plan));
-    return program_cache_.emplace(k, std::move(programs))
-        .first->second.data();
+    cached = std::move(programs);
+    return *cached;
   }
 
   // ---- reference semantics -------------------------------------------
@@ -645,9 +590,8 @@ class Machine {
   std::vector<int> saved_;
   std::uint64_t write_counter_ = 0;
   std::uint64_t bytes_in_use_ = 0;
-  std::map<std::uint64_t, redist::RedistPlan> plan_cache_;
-  std::map<std::uint64_t, std::vector<TransferProgram>> program_cache_;
-  std::map<ir::Region, int> region_ids_;
+  /// Compiled segment programs per static copy site (codegen plan slot).
+  std::vector<std::optional<std::vector<redist::SegmentProgram>>> plan_slots_;
 };
 
 }  // namespace

@@ -14,9 +14,13 @@ if(NOT DEFINED HPFC_SOURCE_DIR)
   get_filename_component(HPFC_SOURCE_DIR "${CMAKE_CURRENT_LIST_DIR}/.." ABSOLUTE)
 endif()
 
+get_filename_component(_bin_dir "${HPFC_BIN}" DIRECTORY)
+set(report_json "${_bin_dir}/cli_smoke_report.json")
+file(REMOVE "${report_json}")
+
 execute_process(
   COMMAND "${HPFC_BIN}" "${HPFC_SOURCE_DIR}/examples/quickstart.hpf"
-          --run --compare --validate
+          --run --compare --validate --report-json=${report_json}
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err
   RESULT_VARIABLE status)
@@ -50,5 +54,44 @@ if(NOT o2_elems LESS o0_elems)
     "(O0=${o0_elems}, O2=${o2_elems}):\n${out}")
 endif()
 
+# --report-json: the dumped RunReport must exist, carry the schema marker,
+# one entry per level, and agree with the stdout elements-copied counts.
+if(NOT EXISTS "${report_json}")
+  message(FATAL_ERROR "cli_smoke: --report-json did not write ${report_json}")
+endif()
+file(READ "${report_json}" report)
+
+if(NOT report MATCHES "\"schema\": \"hpfc-report-v1\"")
+  message(FATAL_ERROR "cli_smoke: report JSON missing schema marker:\n${report}")
+endif()
+foreach(level O0 O1 O2)
+  if(NOT report MATCHES "\"level\": \"${level}\"")
+    message(FATAL_ERROR "cli_smoke: report JSON missing ${level} entry:\n${report}")
+  endif()
+endforeach()
+foreach(field copies_performed elements_copied messages bytes segments
+        skipped_already_mapped skipped_live_copy)
+  if(NOT report MATCHES "\"${field}\": [0-9]+")
+    message(FATAL_ERROR "cli_smoke: report JSON missing ${field}:\n${report}")
+  endif()
+endforeach()
+if(report MATCHES "\"oracle_match\": false")
+  message(FATAL_ERROR "cli_smoke: report JSON records an oracle mismatch:\n${report}")
+endif()
+
+string(REGEX MATCH "\"level\": \"O0\", \"copies_performed\": [0-9]+, \"elements_copied\": ([0-9]+)" _ "${report}")
+if(NOT CMAKE_MATCH_1 STREQUAL o0_elems)
+  message(FATAL_ERROR
+    "cli_smoke: report JSON O0 elements (${CMAKE_MATCH_1}) disagree with "
+    "stdout (${o0_elems}):\n${report}")
+endif()
+string(REGEX MATCH "\"level\": \"O2\", \"copies_performed\": [0-9]+, \"elements_copied\": ([0-9]+)" _ "${report}")
+if(NOT CMAKE_MATCH_1 STREQUAL o2_elems)
+  message(FATAL_ERROR
+    "cli_smoke: report JSON O2 elements (${CMAKE_MATCH_1}) disagree with "
+    "stdout (${o2_elems}):\n${report}")
+endif()
+
 message(STATUS
-  "cli_smoke: OK (O0 copied ${o0_elems} elems, O2 copied ${o2_elems})")
+  "cli_smoke: OK (O0 copied ${o0_elems} elems, O2 copied ${o2_elems}, "
+  "report at ${report_json})")

@@ -1,13 +1,12 @@
-// Redistribution communication sets: the periodic-pattern builder must
-// agree with the sorted-list oracle; transfers must partition the array
-// (every element sent exactly once per destination requirement).
+// Redistribution communication sets: the interval-run builder must agree
+// with the sorted-list oracle; transfers must partition the array (every
+// element sent exactly once per destination requirement).
 #include <gtest/gtest.h>
 
 #include <map>
 #include <set>
 
 #include "redist/commsets.hpp"
-#include "redist/progression.hpp"
 
 namespace hpfc::redist {
 namespace {
@@ -29,32 +28,22 @@ ConcreteLayout one_dim(Extent n, Extent procs, DistFormat fmt,
   return ConcreteLayout::make(Shape{n}, Shape{procs}, {owner});
 }
 
-TEST(PeriodicPattern, CyclicPatternMembers) {
-  DimOwner owner;
-  owner.source = AlignTarget::axis(0);
-  owner.template_extent = 12;
-  owner.format = DistFormat::cyclic(2);
-  owner.format.param = 2;
-  const auto p = PeriodicPattern::from_dim_owner(owner, 3, 1, 12);
-  // (i/2)%3 == 1 -> i in {2,3, 8,9}.
-  EXPECT_EQ(p.materialize(), (std::vector<Index>{2, 3, 8, 9}));
-  EXPECT_EQ(p.count(), 4);
-  EXPECT_TRUE(p.contains(8));
-  EXPECT_FALSE(p.contains(4));
+TEST(OwnedRuns, CyclicPatternMembers) {
+  // cyclic(2) over 3 ranks: rank 1 owns (i/2)%3 == 1 -> i in {2,3, 8,9}.
+  const auto lay = one_dim(12, 3, DistFormat::cyclic(2));
+  const auto runs = lay.owned_index_runs(1);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].materialize(), (std::vector<Index>{2, 3, 8, 9}));
+  EXPECT_EQ(runs[0].count(), 4);
+  EXPECT_TRUE(runs[0].contains(8));
+  EXPECT_FALSE(runs[0].contains(4));
 }
 
-TEST(PeriodicPattern, IntersectMatchesExplicit) {
-  DimOwner a;
-  a.source = AlignTarget::axis(0);
-  a.template_extent = 24;
-  a.format = DistFormat::cyclic(2);
-  a.format.param = 2;
-  DimOwner b = a;
-  b.format = DistFormat::cyclic(3);
-  b.format.param = 3;
-  const auto pa = PeriodicPattern::from_dim_owner(a, 2, 1, 24);
-  const auto pb = PeriodicPattern::from_dim_owner(b, 4, 2, 24);
-  const auto both = PeriodicPattern::intersect(pa, pb);
+TEST(OwnedRuns, IntersectMatchesExplicit) {
+  // (i/2)%2 == 1 on the sender meets (i/3)%4 == 2 on the receiver.
+  const auto pa = one_dim(24, 2, DistFormat::cyclic(2)).owned_index_runs(1);
+  const auto pb = one_dim(24, 4, DistFormat::cyclic(3)).owned_index_runs(2);
+  const auto both = mapping::IndexRuns::intersect(pa[0], pb[0]);
 
   std::vector<Index> expected;
   for (Index i = 0; i < 24; ++i)
@@ -63,17 +52,20 @@ TEST(PeriodicPattern, IntersectMatchesExplicit) {
   EXPECT_EQ(both.count(), static_cast<Extent>(expected.size()));
 }
 
-TEST(PeriodicPattern, StridedNegativeAlignment) {
+TEST(OwnedRuns, StridedNegativeAlignment) {
+  // i aligned to template 20 - 2i under cyclic(3) on 2 ranks; rank 0
+  // owns ((20 - 2i)/3) % 2 == 0.
   DimOwner owner;
   owner.source = AlignTarget::axis(0, -2, 20);
   owner.template_extent = 21;
   owner.format = DistFormat::cyclic(3);
   owner.format.param = 3;
-  const auto p = PeriodicPattern::from_dim_owner(owner, 2, 0, 10);
+  const auto lay = ConcreteLayout::make(Shape{10}, Shape{2}, {owner});
   std::vector<Index> expected;
   for (Index i = 0; i < 10; ++i)
     if (((20 - 2 * i) / 3) % 2 == 0) expected.push_back(i);
-  EXPECT_EQ(p.materialize(), expected);
+  EXPECT_EQ(lay.owned_index_runs(0)[0].materialize(), expected);
+  EXPECT_EQ(lay.owned_index_lists(0)[0], expected);
 }
 
 // ---- plan-level properties -------------------------------------------

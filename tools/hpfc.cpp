@@ -12,10 +12,12 @@
 //   --seed=N            branch-decision seed for --run/--compare (default 7)
 //   --ranks=N           machine size (default: largest arrangement)
 //   --validate          run the Theorem 1 validator
+//   --report-json=PATH  dump the per-level RunReport counters as JSON
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "driver/compiler.hpp"
 
@@ -35,6 +37,14 @@ struct Options {
   bool validate = false;
   unsigned seed = 7;
   int ranks = 0;
+  std::string report_json;
+};
+
+/// One executed level's counters, collected for --report-json.
+struct LevelReport {
+  std::string level;
+  runtime::RunReport report;
+  bool oracle_match = false;
 };
 
 int usage() {
@@ -42,7 +52,8 @@ int usage() {
       << "usage: hpfc <file.hpf> [--opt=O0|O1|O2] [--dump-program]\n"
          "            [--dump-graph] [--dump-dot] [--dump-code]\n"
          "            [--run] [--compare] [--seed=N] [--ranks=N]"
-         " [--validate]\n";
+         " [--validate]\n"
+         "            [--report-json=PATH]\n";
   return 2;
 }
 
@@ -62,6 +73,8 @@ bool parse_args(int argc, char** argv, Options& options) {
       else if (level == "O1") options.level = driver::OptLevel::O1;
       else if (level == "O2") options.level = driver::OptLevel::O2;
       else return false;
+    } else if (arg.rfind("--report-json=", 0) == 0) {
+      options.report_json = arg.substr(14);
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = static_cast<unsigned>(std::stoul(arg.substr(7)));
     } else if (arg.rfind("--ranks=", 0) == 0) {
@@ -81,8 +94,50 @@ void print_run(const char* tag, const runtime::RunReport& report,
             << (matches ? "  [oracle-match]" : "  [MISMATCH]") << "\n";
 }
 
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') escaped.push_back('\\');
+    escaped.push_back(c);
+  }
+  return escaped;
+}
+
+bool write_report_json(const Options& options,
+                       const std::vector<LevelReport>& levels) {
+  std::ofstream out(options.report_json);
+  if (!out) {
+    std::cerr << "hpfc: cannot write " << options.report_json << "\n";
+    return false;
+  }
+  out << "{\n  \"schema\": \"hpfc-report-v1\",\n";
+  out << "  \"source\": \"" << json_escape(options.file) << "\",\n";
+  out << "  \"seed\": " << options.seed << ",\n";
+  out << "  \"levels\": [";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const auto& l = levels[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"level\": \"" << l.level << "\""
+        << ", \"copies_performed\": " << l.report.copies_performed
+        << ", \"elements_copied\": " << l.report.elements_copied
+        << ", \"messages\": " << l.report.net.messages
+        << ", \"bytes\": " << l.report.net.bytes
+        << ", \"local_copies\": " << l.report.net.local_copies
+        << ", \"segments\": " << l.report.net.segments
+        << ", \"skipped_already_mapped\": "
+        << l.report.skipped_already_mapped
+        << ", \"skipped_live_copy\": " << l.report.skipped_live_copy
+        << ", \"oracle_match\": " << (l.oracle_match ? "true" : "false")
+        << "}";
+  }
+  out << "\n  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
 int run_level(const std::string& source, const Options& options,
-              driver::OptLevel level, bool verbose) {
+              driver::OptLevel level, bool verbose,
+              std::vector<LevelReport>& reports) {
   DiagnosticEngine diags;
   driver::CompileOptions compile_options;
   compile_options.level = level;
@@ -118,9 +173,10 @@ int run_level(const std::string& source, const Options& options,
     run_options.ranks = options.ranks;
     const auto oracle = driver::run_oracle(compiled, run_options);
     const auto report = driver::run(compiled, run_options);
-    print_run(driver::to_string(level), report,
-              report.signature == oracle.signature &&
-                  report.exported_values_ok);
+    const bool matches = report.signature == oracle.signature &&
+                         report.exported_values_ok;
+    print_run(driver::to_string(level), report, matches);
+    reports.push_back({driver::to_string(level), report, matches});
     if (report.signature != oracle.signature) return 1;
   }
   return 0;
@@ -141,15 +197,20 @@ int main(int argc, char** argv) {
   buffer << in.rdbuf();
   const std::string source = buffer.str();
 
+  std::vector<LevelReport> reports;
+  int status = 0;
   if (options.compare) {
-    int status = 0;
     bool verbose = true;
     for (const auto level : {driver::OptLevel::O0, driver::OptLevel::O1,
                              driver::OptLevel::O2}) {
-      status |= run_level(source, options, level, verbose);
+      status |= run_level(source, options, level, verbose, reports);
       verbose = false;  // dumps once, at the first level
     }
-    return status;
+  } else {
+    status = run_level(source, options, options.level, /*verbose=*/true,
+                       reports);
   }
-  return run_level(source, options, options.level, /*verbose=*/true);
+  if (!options.report_json.empty() && !write_report_json(options, reports))
+    status = 1;
+  return status;
 }
