@@ -70,7 +70,7 @@ void report(Harness& h) {
                 compiled.ok ? "accepted" : "REJECTED (unexpected!)");
     if (compiled.ok) {
       for (const unsigned seed : {1u, 2u, 3u, 4u}) {
-        const auto run = run_checked(compiled, seed);
+        const auto run = run_checked(compiled, h.run_options(seed));
         row("fig6 seed=" + std::to_string(seed), run);
         // compile_source above used the default CompileOptions level, O2.
         h.record("fig06", "seed=" + std::to_string(seed), "O2", run);

@@ -20,7 +20,7 @@ void report(Harness& h) {
               naive.code.count(hpfc::codegen::OpKind::SaveStatus),
               naive.code.count(hpfc::codegen::OpKind::IfSavedEq));
   for (unsigned seed = 1; seed <= 6; ++seed) {
-    const auto run = run_checked(naive, seed);
+    const auto run = run_checked(naive, h.run_options(seed));
     row("O0 seed=" + std::to_string(seed), run);
     h.record("fig18", "seed=" + std::to_string(seed), "O0", run);
   }
@@ -29,7 +29,7 @@ void report(Harness& h) {
               "removed entirely)\n",
               opt.code.count(hpfc::codegen::OpKind::IfSavedEq));
   for (unsigned seed = 1; seed <= 6; ++seed) {
-    const auto run = run_checked(opt, seed);
+    const auto run = run_checked(opt, h.run_options(seed));
     row("O2 seed=" + std::to_string(seed), run);
     h.record("fig18", "seed=" + std::to_string(seed), "O2", run);
   }

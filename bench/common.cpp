@@ -49,8 +49,13 @@ Compiled compile(ProgramBuilder& builder, OptLevel level) {
 RunReport run_checked(const Compiled& compiled, unsigned seed) {
   hpfc::runtime::RunOptions options;
   options.seed = seed;
-  const RunReport oracle = hpfc::driver::run_oracle(compiled, options);
-  const RunReport report = hpfc::driver::run(compiled, options);
+  return run_checked(compiled, options);
+}
+
+RunReport run_checked(const Compiled& compiled,
+                      const hpfc::runtime::RunOptions& run_options) {
+  const RunReport oracle = hpfc::driver::run_oracle(compiled, run_options);
+  const RunReport report = hpfc::driver::run(compiled, run_options);
   if (report.signature != oracle.signature || !report.exported_values_ok) {
     std::fprintf(stderr, "benchmark run diverged from the oracle\n");
     std::abort();
@@ -119,6 +124,7 @@ LevelMetrics metrics_from(const std::string& level, const RunReport& report,
   metrics.skipped_status_guard = report.skipped_already_mapped;
   metrics.skipped_live_copy = report.skipped_live_copy;
   metrics.sim_time_ms = report.net.sim_time * 1e3;
+  metrics.exec_ms = report.exec_ms;
   metrics.compile_wall_ms = compile_wall_ms;
   metrics.run_wall_ms = run_wall_ms;
   return metrics;
@@ -147,6 +153,16 @@ HarnessOptions HarnessOptions::parse(int& argc, char** argv) {
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = static_cast<unsigned>(std::strtoul(arg.c_str() + 7,
                                                         nullptr, 10));
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      const auto kind = hpfc::exec::parse_backend_kind(arg.substr(10));
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "bench: unknown backend '%s' (seq|thread)\n",
+                     arg.c_str() + 10);
+        std::abort();
+      }
+      options.backend = *kind;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads = std::atoi(arg.c_str() + 10);
     } else if (arg == "--no-gbench") {
       options.run_google_benchmarks = false;
     } else {
@@ -169,27 +185,35 @@ FigureRecord& Harness::entry(const std::string& figure,
   return records_.back();
 }
 
+hpfc::runtime::RunOptions Harness::run_options(unsigned seed) const {
+  hpfc::runtime::RunOptions run_options;
+  run_options.seed = seed == 0 ? options_.seed : seed;
+  run_options.backend = options_.backend;
+  run_options.threads = options_.threads;
+  return run_options;
+}
+
 LevelMetrics Harness::measure_level(const Factory& factory, OptLevel level,
                                     unsigned seed) {
   std::vector<double> compile_samples;
   std::vector<double> run_samples;
+  std::vector<double> exec_samples;
   Compiled compiled;
   RunReport report;
-  hpfc::runtime::RunOptions run_options;
-  run_options.seed = seed;
+  const hpfc::runtime::RunOptions run_opts = run_options(seed);
   bool oracle_checked = false;
   std::uint64_t oracle_signature = 0;
   for (int rep = 0; rep < options_.warmup + options_.reps; ++rep) {
     const double compile_ms =
         wall_ms([&] { compiled = compile(factory(), level); });
     const double run_ms =
-        wall_ms([&] { report = hpfc::driver::run(compiled, run_options); });
+        wall_ms([&] { report = hpfc::driver::run(compiled, run_opts); });
     // Cross-check against the sequential oracle outside the timed
     // region; the simulation is deterministic, so once per level is
     // enough for the reference signature.
     if (!oracle_checked) {
       oracle_signature =
-          hpfc::driver::run_oracle(compiled, run_options).signature;
+          hpfc::driver::run_oracle(compiled, run_opts).signature;
       oracle_checked = true;
     }
     if (report.signature != oracle_signature || !report.exported_values_ok) {
@@ -199,12 +223,16 @@ LevelMetrics Harness::measure_level(const Factory& factory, OptLevel level,
     if (rep >= options_.warmup) {
       compile_samples.push_back(compile_ms);
       run_samples.push_back(run_ms);
+      exec_samples.push_back(report.exec_ms);
     }
   }
 
-  return metrics_from(hpfc::driver::to_string(level), report,
-                      median(std::move(compile_samples)),
-                      median(std::move(run_samples)));
+  LevelMetrics metrics =
+      metrics_from(hpfc::driver::to_string(level), report,
+                   median(std::move(compile_samples)),
+                   median(std::move(run_samples)));
+  metrics.exec_ms = median(std::move(exec_samples));
+  return metrics;
 }
 
 void Harness::measure(const std::string& figure, const std::string& config,
@@ -247,6 +275,9 @@ bool Harness::write_json() const {
   os << "  \"reps\": " << options_.reps << ",\n";
   os << "  \"warmup\": " << options_.warmup << ",\n";
   os << "  \"seed\": " << options_.seed << ",\n";
+  os << "  \"backend\": \"" << hpfc::exec::to_string(options_.backend)
+     << "\",\n";
+  os << "  \"threads\": " << options_.threads << ",\n";
   os << "  \"figures\": [";
   bool first_figure = true;
   for (const auto& record : records_) {
@@ -271,6 +302,7 @@ bool Harness::write_json() const {
          << ", \"skipped_status_guard\": " << m.skipped_status_guard
          << ", \"skipped_live_copy\": " << m.skipped_live_copy
          << ", \"sim_time_ms\": " << m.sim_time_ms
+         << ", \"exec_ms\": " << m.exec_ms
          << ", \"compile_wall_ms\": " << m.compile_wall_ms
          << ", \"run_wall_ms\": " << m.run_wall_ms << "}";
     }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "driver/compiler.hpp"
+#include "exec/backend.hpp"
 #include "hpf/builder.hpp"
 
 namespace bench_common {
@@ -27,6 +28,9 @@ Compiled compile(hpfc::ir::Program program, OptLevel level);
 /// Runs on the simulated machine (auto rank count) with a fixed seed, and
 /// cross-checks the result signature against the sequential oracle.
 RunReport run_checked(const Compiled& compiled, unsigned seed = 7);
+/// Same, with full control over the run (backend, threads, ranks...).
+RunReport run_checked(const Compiled& compiled,
+                      const hpfc::runtime::RunOptions& run_options);
 
 /// Experiment banner / rows (stable text format consumed by EXPERIMENTS.md).
 void banner(const std::string& experiment, const std::string& paper_claim);
@@ -50,6 +54,10 @@ struct LevelMetrics {
   int skipped_status_guard = 0;          ///< guard found array well-mapped
   int skipped_live_copy = 0;             ///< guard reused a live copy
   double sim_time_ms = 0.0;              ///< simulated machine time
+  /// Host wall-clock time of the machine execution itself, as measured
+  /// inside the runtime (median over repetitions): the number that drops
+  /// when --backend=thread spreads rank work over real cores.
+  double exec_ms = 0.0;
   double compile_wall_ms = 0.0;          ///< median host compile time
   /// Median host time of the simulated run alone (the sequential oracle
   /// used for cross-checking is executed outside the timed region).
@@ -77,11 +85,15 @@ struct FigureRecord {
 ///   --reps=N      timed repetitions per measurement (default 3)
 ///   --warmup=N    untimed warm-up repetitions per measurement (default 1)
 ///   --seed=N      branch-decision seed for the simulated runs (default 7)
+///   --backend=seq|thread  execution backend for the simulated runs
+///   --threads=N   worker threads for --backend=thread (0 = auto)
 ///   --no-gbench   skip the Google Benchmark micro-benchmarks
 struct HarnessOptions {
   int reps = 3;
   int warmup = 1;
   unsigned seed = 7;
+  hpfc::exec::BackendKind backend = hpfc::exec::BackendKind::Seq;
+  int threads = 0;
   std::string json_path;
   bool run_google_benchmarks = true;
 
@@ -116,6 +128,11 @@ class Harness {
   /// that have no simulated run attached).
   void record_timing(const std::string& figure, const std::string& config,
                      const std::string& level, double wall_ms);
+
+  /// RunOptions matching the harness flags (backend, threads, seed; a
+  /// `seed` of 0 means "use the harness-wide seed") — what measure() uses,
+  /// for benches with bespoke measurement loops.
+  [[nodiscard]] hpfc::runtime::RunOptions run_options(unsigned seed = 0) const;
 
   [[nodiscard]] const HarnessOptions& options() const { return options_; }
   [[nodiscard]] const std::vector<FigureRecord>& records() const {

@@ -1,0 +1,76 @@
+#include "exec/backend.hpp"
+
+#include <string>
+
+#include "support/check.hpp"
+
+namespace hpfc::exec {
+
+const char* to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::Seq:
+      return "seq";
+    case BackendKind::Thread:
+      return "thread";
+  }
+  return "?";
+}
+
+std::optional<BackendKind> parse_backend_kind(std::string_view name) {
+  if (name == "seq") return BackendKind::Seq;
+  if (name == "thread") return BackendKind::Thread;
+  return std::nullopt;
+}
+
+Backend::Backend(int ranks, net::CostModel cost) : ranks_(ranks), cost_(cost) {
+  HPFC_ASSERT_MSG(ranks > 0, "a machine needs at least one rank");
+}
+
+Backend::~Backend() = default;
+
+void Backend::barrier() {
+  stats_.supersteps += 1;
+  stats_.sim_time += cost_.latency;
+}
+
+namespace {
+
+/// The original sequential BSP engine: ranks execute one after another on
+/// the calling thread; routing and accounting happen inline.
+class SeqBackend final : public Backend {
+ public:
+  using Backend::Backend;
+
+  [[nodiscard]] BackendKind kind() const override { return BackendKind::Seq; }
+  [[nodiscard]] int workers() const override { return 1; }
+
+  void step(const RankFn& fn) override {
+    for (int r = 0; r < ranks_; ++r) fn(r);
+  }
+
+  std::vector<std::vector<net::Message>> exchange(
+      std::vector<std::vector<net::Message>> outboxes) override {
+    auto inboxes = net::route_superstep(std::move(outboxes), ranks_);
+    net::account_superstep(stats_, cost_, inboxes);
+    return inboxes;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_thread_backend(int ranks, net::CostModel cost,
+                                             int threads);
+
+std::unique_ptr<Backend> make_backend(BackendKind kind, int ranks,
+                                      net::CostModel cost, int threads) {
+  switch (kind) {
+    case BackendKind::Seq:
+      return std::make_unique<SeqBackend>(ranks, cost);
+    case BackendKind::Thread:
+      return make_thread_backend(ranks, cost, threads);
+  }
+  HPFC_ASSERT_MSG(false, "unknown backend kind");
+  return nullptr;
+}
+
+}  // namespace hpfc::exec

@@ -1,0 +1,98 @@
+// Execution backends: how the P ranks of the simulated machine actually
+// run on the host.
+//
+// The runtime's compiled programs are rank-independent: every superstep is
+// "each rank does its local guard/copy/compute work, then the machine
+// exchanges messages".  A Backend supplies exactly those two primitives —
+// `step()` dispatches a per-rank closure into each rank's execution
+// context and waits for all ranks (a BSP barrier), and `exchange()`
+// performs one superstep of all-to-all personalized communication with
+// deterministic (src, emission-order) inbox ordering.
+//
+// Two implementations exist:
+//   SeqBackend    the original sequential BSP loop (rank 0..P-1 in turn).
+//   ThreadBackend one persistent worker per rank (a pool of
+//                 min(threads, ranks) workers when P exceeds the host),
+//                 rank-owned mailboxes, and a fork-join barrier protocol.
+//
+// Both produce byte-identical NetStats and identical inbox ordering, so
+// the differential oracle and the bench regression checks hold across
+// backends; only wall-clock time differs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "net/message.hpp"
+#include "net/network.hpp"
+
+namespace hpfc::exec {
+
+enum class BackendKind {
+  Seq,     ///< sequential BSP loop, zero threading overhead
+  Thread,  ///< thread-per-rank SPMD (pooled when ranks > workers)
+};
+
+[[nodiscard]] const char* to_string(BackendKind kind);
+/// Parses "seq" / "thread"; nullopt on anything else.
+[[nodiscard]] std::optional<BackendKind> parse_backend_kind(
+    std::string_view name);
+
+/// Rank-local work executed inside a backend's rank context.  The closure
+/// must touch only rank-owned state (the rank's local memory, its slot of
+/// a per-rank scratch vector) plus immutable shared data.
+using RankFn = std::function<void(int rank)>;
+
+class Backend {
+ public:
+  Backend(int ranks, net::CostModel cost);
+  virtual ~Backend();
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  [[nodiscard]] virtual BackendKind kind() const = 0;
+  [[nodiscard]] const char* name() const { return to_string(kind()); }
+  [[nodiscard]] int ranks() const { return ranks_; }
+  /// Host threads executing rank work (1 for SeqBackend).
+  [[nodiscard]] virtual int workers() const = 0;
+  [[nodiscard]] const net::NetStats& stats() const { return stats_; }
+  [[nodiscard]] const net::CostModel& cost_model() const { return cost_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Runs fn(r) for every rank r inside the backend's rank execution
+  /// context and returns once all ranks finished (a superstep barrier).
+  /// If rank work throws, one of the exceptions is rethrown here.
+  /// A step is pure computation: it never advances the superstep clock.
+  virtual void step(const RankFn& fn) = 0;
+
+  /// One BSP superstep of all-to-all personalized communication:
+  /// outboxes[r] holds the messages rank r sends (each message's src must
+  /// equal r).  Returns inboxes[r] = messages received by rank r in
+  /// deterministic (src, emission) order, and advances the simulated
+  /// clock by the busiest rank's alpha-beta cost.
+  virtual std::vector<std::vector<net::Message>> exchange(
+      std::vector<std::vector<net::Message>> outboxes) = 0;
+
+  /// A synchronization-only superstep (advances the step counter and
+  /// charges one latency).
+  void barrier();
+
+ protected:
+  int ranks_;
+  net::CostModel cost_;
+  net::NetStats stats_;
+};
+
+/// Creates a backend. `threads` applies to BackendKind::Thread only:
+/// the worker count, clamped to [1, ranks]; 0 picks
+/// min(ranks, hardware_concurrency).
+std::unique_ptr<Backend> make_backend(BackendKind kind, int ranks,
+                                      net::CostModel cost = {},
+                                      int threads = 0);
+
+}  // namespace hpfc::exec

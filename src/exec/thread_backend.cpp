@@ -1,0 +1,151 @@
+// ThreadBackend: the thread-per-rank SPMD engine.
+//
+// A pool of persistent workers (one per rank, or min(threads, ranks) when
+// the machine is oversubscribed) executes rank closures under a fork-join
+// generation protocol: `step()` publishes the closure, bumps a generation
+// counter and waits until every worker has run its statically striped
+// ranks (worker w owns ranks w, w+T, w+2T, ...).  The mutex/condition
+// hand-off gives the happens-before edges between consecutive steps that
+// make rank-owned data safely visible across workers.
+//
+// `exchange()` keeps the deterministic (src, emission) inbox order without
+// any per-message locking: the pack phase and the collect phase are
+// separated by the step barrier, and during collection each receiving
+// rank exclusively owns its inbox, scanning the outboxes in source-rank
+// order and moving out only the messages addressed to it.  Accounting
+// runs once, after the barrier, through net::account_superstep — the same
+// arithmetic as SeqBackend, so NetStats are byte-identical.
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/backend.hpp"
+#include "support/check.hpp"
+
+namespace hpfc::exec {
+
+namespace {
+
+class ThreadBackend final : public Backend {
+ public:
+  ThreadBackend(int ranks, net::CostModel cost, int threads)
+      : Backend(ranks, cost) {
+    int hardware = static_cast<int>(std::thread::hardware_concurrency());
+    if (hardware <= 0) hardware = 1;
+    if (threads <= 0) threads = hardware;
+    threads_ = std::min(std::max(threads, 1), ranks);
+    errors_.resize(static_cast<std::size_t>(threads_));
+    workers_.reserve(static_cast<std::size_t>(threads_));
+    for (int w = 0; w < threads_; ++w)
+      workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  ~ThreadBackend() override {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  [[nodiscard]] BackendKind kind() const override {
+    return BackendKind::Thread;
+  }
+  [[nodiscard]] int workers() const override { return threads_; }
+
+  void step(const RankFn& fn) override {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      fn_ = &fn;
+      pending_ = threads_;
+      ++generation_;
+    }
+    work_ready_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      step_done_.wait(lock, [this] { return pending_ == 0; });
+      fn_ = nullptr;
+    }
+    // Rank work may throw (HPFC_ASSERT throws InternalError): rethrow the
+    // lowest-ranked worker's failure on the controlling thread.
+    for (auto& error : errors_) {
+      if (error == nullptr) continue;
+      const std::exception_ptr first = error;
+      for (auto& e : errors_) e = nullptr;
+      std::rethrow_exception(first);
+    }
+  }
+
+  std::vector<std::vector<net::Message>> exchange(
+      std::vector<std::vector<net::Message>> outboxes) override {
+    HPFC_ASSERT(static_cast<int>(outboxes.size()) == ranks_);
+    std::vector<std::vector<net::Message>> inboxes(
+        static_cast<std::size_t>(ranks_));
+    step([&](int rank) {
+      // Collect in (src, emission) order.  Each message has exactly one
+      // destination, so concurrent collectors move disjoint messages; the
+      // scalar src/dst fields they all read are never written here.
+      auto& inbox = inboxes[static_cast<std::size_t>(rank)];
+      for (int src = 0; src < ranks_; ++src) {
+        for (auto& msg : outboxes[static_cast<std::size_t>(src)]) {
+          HPFC_ASSERT_MSG(msg.src == src, "message src must match its outbox");
+          HPFC_ASSERT_MSG(msg.dst >= 0 && msg.dst < ranks_,
+                          "bad destination");
+          if (msg.dst == rank) inbox.push_back(std::move(msg));
+        }
+      }
+    });
+    net::account_superstep(stats_, cost_, inboxes);
+    return inboxes;
+  }
+
+ private:
+  void worker_loop(int worker) {
+    std::uint64_t seen = 0;
+    while (true) {
+      const RankFn* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_ready_.wait(lock,
+                         [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        fn = fn_;
+      }
+      try {
+        for (int r = worker; r < ranks_; r += threads_) (*fn)(r);
+      } catch (...) {
+        // Slot is worker-owned during a step; the barrier publishes it.
+        errors_[static_cast<std::size_t>(worker)] = std::current_exception();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0) step_done_.notify_one();
+      }
+    }
+  }
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::vector<std::exception_ptr> errors_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable step_done_;
+  const RankFn* fn_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_thread_backend(int ranks, net::CostModel cost,
+                                             int threads) {
+  return std::make_unique<ThreadBackend>(ranks, cost, threads);
+}
+
+}  // namespace hpfc::exec

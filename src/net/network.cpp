@@ -43,47 +43,61 @@ SimNetwork::SimNetwork(int ranks, CostModel cost) : ranks_(ranks), cost_(cost) {
   HPFC_ASSERT_MSG(ranks > 0, "a machine needs at least one rank");
 }
 
-std::vector<std::vector<Message>> SimNetwork::exchange(
-    std::vector<std::vector<Message>> outboxes) {
-  HPFC_ASSERT(static_cast<int>(outboxes.size()) == ranks_);
-
-  std::vector<std::vector<Message>> inboxes(static_cast<std::size_t>(ranks_));
-  // Per-rank accounting for the superstep clock.
-  std::vector<std::uint64_t> rank_msgs(static_cast<std::size_t>(ranks_), 0);
-  std::vector<std::uint64_t> rank_bytes(static_cast<std::size_t>(ranks_), 0);
-
-  for (int src = 0; src < ranks_; ++src) {
+std::vector<std::vector<Message>> route_superstep(
+    std::vector<std::vector<Message>> outboxes, int ranks) {
+  HPFC_ASSERT(static_cast<int>(outboxes.size()) == ranks);
+  std::vector<std::vector<Message>> inboxes(static_cast<std::size_t>(ranks));
+  // Deterministic receive order: by source rank, then emission order —
+  // guaranteed by this fill order.
+  for (int src = 0; src < ranks; ++src) {
     for (auto& msg : outboxes[static_cast<std::size_t>(src)]) {
       HPFC_ASSERT_MSG(msg.src == src, "message src must match its outbox");
-      HPFC_ASSERT_MSG(msg.dst >= 0 && msg.dst < ranks_, "bad destination");
+      HPFC_ASSERT_MSG(msg.dst >= 0 && msg.dst < ranks, "bad destination");
+      inboxes[static_cast<std::size_t>(msg.dst)].push_back(std::move(msg));
+    }
+  }
+  return inboxes;
+}
+
+void account_superstep(NetStats& stats, const CostModel& cost,
+                       const std::vector<std::vector<Message>>& inboxes) {
+  const int ranks = static_cast<int>(inboxes.size());
+  // Per-rank accounting for the superstep clock.
+  std::vector<std::uint64_t> rank_msgs(static_cast<std::size_t>(ranks), 0);
+  std::vector<std::uint64_t> rank_bytes(static_cast<std::size_t>(ranks), 0);
+
+  for (const auto& inbox : inboxes) {
+    for (const auto& msg : inbox) {
       const std::uint64_t nbytes = msg.bytes();
-      stats_.segments += static_cast<std::uint64_t>(msg.segments);
-      if (msg.dst == src) {
-        stats_.local_copies += 1;
-        stats_.local_bytes += nbytes;
+      stats.segments += static_cast<std::uint64_t>(msg.segments);
+      if (msg.dst == msg.src) {
+        stats.local_copies += 1;
+        stats.local_bytes += nbytes;
       } else {
-        stats_.messages += 1;
-        stats_.bytes += nbytes;
-        rank_msgs[static_cast<std::size_t>(src)] += 1;
-        rank_bytes[static_cast<std::size_t>(src)] += nbytes;
+        stats.messages += 1;
+        stats.bytes += nbytes;
+        rank_msgs[static_cast<std::size_t>(msg.src)] += 1;
+        rank_bytes[static_cast<std::size_t>(msg.src)] += nbytes;
         rank_msgs[static_cast<std::size_t>(msg.dst)] += 1;
         rank_bytes[static_cast<std::size_t>(msg.dst)] += nbytes;
       }
-      inboxes[static_cast<std::size_t>(msg.dst)].push_back(std::move(msg));
     }
   }
 
   double step_time = 0.0;
-  for (int r = 0; r < ranks_; ++r) {
+  for (int r = 0; r < ranks; ++r) {
     step_time = std::max(
-        step_time, cost_.message_time(rank_msgs[static_cast<std::size_t>(r)],
-                                      rank_bytes[static_cast<std::size_t>(r)]));
+        step_time, cost.message_time(rank_msgs[static_cast<std::size_t>(r)],
+                                     rank_bytes[static_cast<std::size_t>(r)]));
   }
-  stats_.sim_time += step_time;
-  stats_.supersteps += 1;
+  stats.sim_time += step_time;
+  stats.supersteps += 1;
+}
 
-  // Deterministic receive order: by source rank, then emission order —
-  // already guaranteed by the fill order above.
+std::vector<std::vector<Message>> SimNetwork::exchange(
+    std::vector<std::vector<Message>> outboxes) {
+  auto inboxes = route_superstep(std::move(outboxes), ranks_);
+  account_superstep(stats_, cost_, inboxes);
   return inboxes;
 }
 

@@ -35,8 +35,21 @@ struct NetStats {
 
   NetStats& operator+=(const NetStats& other);
   friend NetStats operator-(NetStats a, const NetStats& b);
+  friend bool operator==(const NetStats&, const NetStats&) = default;
   [[nodiscard]] std::string summary() const;
 };
+
+/// Validates and routes one superstep of outboxes into per-rank inboxes,
+/// in deterministic (src, emission) order.
+std::vector<std::vector<Message>> route_superstep(
+    std::vector<std::vector<Message>> outboxes, int ranks);
+
+/// Accounts one already-routed superstep into `stats`: counters plus one
+/// BSP step of the alpha-beta clock (the busiest rank's send+receive
+/// cost).  Shared by SimNetwork and every exec::Backend so their NetStats
+/// stay byte-identical however the messages were physically moved.
+void account_superstep(NetStats& stats, const CostModel& cost,
+                       const std::vector<std::vector<Message>>& inboxes);
 
 class SimNetwork {
  public:

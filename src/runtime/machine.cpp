@@ -1,11 +1,13 @@
 #include "runtime/machine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <optional>
 #include <random>
 #include <sstream>
 
+#include "exec/backend.hpp"
 #include "redist/commsets.hpp"
 #include "redist/segments.hpp"
 #include "support/check.hpp"
@@ -49,7 +51,11 @@ class Machine {
         code_(code),
         options_(options),
         rng_(options.seed),
-        net_(machine_ranks(program, options), options.cost) {
+        // The oracle has no per-rank work worth threading; it always runs
+        // on the sequential backend regardless of the requested one.
+        backend_(exec::make_backend(
+            code != nullptr ? options.backend : exec::BackendKind::Seq,
+            machine_ranks(program, options), options.cost, options.threads)) {
     const std::size_t num_arrays = program_.arrays.size();
     status_.assign(num_arrays, 0);
     storage_.resize(num_arrays);
@@ -75,6 +81,20 @@ class Machine {
   }
 
   RunReport run() {
+    const auto start = std::chrono::steady_clock::now();
+    run_program();
+    report_.net = backend_->stats();
+    report_.ranks = backend_->ranks();
+    report_.backend = backend_->name();
+    report_.threads = backend_->workers();
+    report_.exec_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    return report_;
+  }
+
+ private:
+  void run_program() {
     if (parallel())
       for (const auto& op : code_->at_entry) execute(op);
 
@@ -174,11 +194,8 @@ class Machine {
       node = next;
       if (options_.paranoid && parallel()) check_liveness_invariant();
     }
-    report_.net = net_.stats();
-    return report_;
   }
 
- private:
   [[nodiscard]] bool parallel() const { return code_ != nullptr; }
 
   static int machine_ranks(const ir::Program& program,
@@ -203,12 +220,18 @@ class Machine {
     const ConcreteLayout& lay = layout(a, version);
     vs.locals.resize(static_cast<std::size_t>(lay.ranks()));
     vs.bytes = 0;
+    std::vector<mapping::Extent> counts(static_cast<std::size_t>(lay.ranks()));
     for (int r = 0; r < lay.ranks(); ++r) {
-      const auto count = lay.local_count(r);
-      vs.locals[static_cast<std::size_t>(r)].assign(
-          static_cast<std::size_t>(count), 0.0);
+      const mapping::Extent count = lay.local_count(r);
+      counts[static_cast<std::size_t>(r)] = count;
       vs.bytes += static_cast<std::uint64_t>(count) * sizeof(double);
     }
+    // Each rank zero-fills its own local piece in its execution context.
+    backend_->step([&](int r) {
+      if (r >= lay.ranks()) return;
+      vs.locals[static_cast<std::size_t>(r)].assign(
+          static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]), 0.0);
+    });
     vs.allocated = true;
     ++report_.allocations;
     bytes_in_use_ += vs.bytes;
@@ -328,12 +351,13 @@ class Machine {
       auto& vs = versions[v];
       if (!vs.allocated) continue;
       const ConcreteLayout& lay = layout(live.array, static_cast<int>(v));
-      for (int r = 0; r < lay.ranks(); ++r) {
+      backend_->step([&](int r) {
+        if (r >= lay.ranks()) return;
         auto& local = vs.locals[static_cast<std::size_t>(r)];
         lay.for_each_owned(r, [&](std::span<const Index> global, Index pos) {
           if (!inside(global)) local[static_cast<std::size_t>(pos)] = 0.0;
         });
-      }
+      });
     }
   }
 
@@ -347,32 +371,41 @@ class Machine {
     const auto& programs = transfer_programs(a, src, dst, region, plan_slot);
 
     std::vector<std::vector<net::Message>> outboxes(
-        static_cast<std::size_t>(net_.ranks()));
+        static_cast<std::size_t>(backend_->ranks()));
     auto& from = storage_[static_cast<std::size_t>(a)]
                          [static_cast<std::size_t>(src)];
-    for (std::size_t t = 0; t < programs.size(); ++t) {
-      const redist::SegmentProgram& tp = programs[t];
-      net::Message msg;
-      msg.src = tp.src;
-      msg.dst = tp.dst;
-      msg.tag = static_cast<int>(t);
-      msg.segments = static_cast<int>(tp.segments.size());
-      redist::pack(tp, from.locals[static_cast<std::size_t>(tp.src)],
-                   msg.payload);
-      outboxes[static_cast<std::size_t>(tp.src)].push_back(std::move(msg));
-    }
-    const auto inboxes = net_.exchange(std::move(outboxes));
+    // Each source rank packs its own transfers, in program (tag) order so
+    // emission order — and with it the inbox order — is backend-invariant.
+    backend_->step([&](int r) {
+      auto& outbox = outboxes[static_cast<std::size_t>(r)];
+      for (std::size_t t = 0; t < programs.size(); ++t) {
+        const redist::SegmentProgram& tp = programs[t];
+        if (tp.src != r) continue;
+        net::Message msg;
+        msg.src = tp.src;
+        msg.dst = tp.dst;
+        msg.tag = static_cast<int>(t);
+        msg.segments = static_cast<int>(tp.segments.size());
+        redist::pack(tp, from.locals[static_cast<std::size_t>(tp.src)],
+                     msg.payload);
+        outbox.push_back(std::move(msg));
+      }
+    });
+    const auto inboxes = backend_->exchange(std::move(outboxes));
     auto& to =
         storage_[static_cast<std::size_t>(a)][static_cast<std::size_t>(dst)];
-    for (const auto& inbox : inboxes) {
-      for (const auto& msg : inbox) {
+    std::vector<std::uint64_t> unpacked(
+        static_cast<std::size_t>(backend_->ranks()), 0);
+    backend_->step([&](int r) {
+      for (const auto& msg : inboxes[static_cast<std::size_t>(r)]) {
         const redist::SegmentProgram& tp =
             programs[static_cast<std::size_t>(msg.tag)];
         redist::unpack(tp, msg.payload,
                        to.locals[static_cast<std::size_t>(tp.dst)]);
-        report_.elements_copied += msg.payload.size();
+        unpacked[static_cast<std::size_t>(r)] += msg.payload.size();
       }
-    }
+    });
+    for (const std::uint64_t n : unpacked) report_.elements_copied += n;
     ++report_.copies_performed;
   }
 
@@ -445,23 +478,31 @@ class Machine {
     vs.live = true;
     const ConcreteLayout& lay = layout(a, version);
     const auto& shape = lay.array_shape();
-    for (int r = 0; r < lay.ranks(); ++r) {
+    // Each rank folds its owned elements into a private partial; the
+    // wrapping uint64 sum is order-independent, so reducing the partials
+    // afterwards reproduces the sequential signature exactly.
+    std::vector<std::uint64_t> partials(
+        static_cast<std::size_t>(backend_->ranks()), 0);
+    backend_->step([&](int r) {
+      if (r >= lay.ranks()) return;
       // Primary owners only, so replicated elements count once.
       const auto send_lists = lay.owned_index_lists(r, /*for_sending=*/true);
       bool empty = send_lists.empty();
       for (const auto& list : send_lists) empty = empty || list.empty();
-      if (empty && shape.rank() > 0) continue;
+      if (empty && shape.rank() > 0) return;
       const auto full_lists = lay.owned_index_lists(r);
       const auto& local = vs.locals[static_cast<std::size_t>(r)];
+      std::uint64_t& partial = partials[static_cast<std::size_t>(r)];
       iterate_product(send_lists, [&](std::span<const Index> global) {
         const Index pos =
             ConcreteLayout::position_in_lists(full_lists, global);
         HPFC_ASSERT(pos >= 0);
-        report_.signature +=
+        partial +=
             static_cast<std::uint64_t>(local[static_cast<std::size_t>(pos)]) *
             weight(shape.linearize(global));
       });
-    }
+    });
+    for (const std::uint64_t partial : partials) report_.signature += partial;
   }
 
   void touch_write(int node, ArrayId a) {
@@ -469,9 +510,11 @@ class Machine {
     ++report_.writes;
     const std::uint64_t counter = ++write_counter_;
     auto& values = canonical_[static_cast<std::size_t>(a)];
-    for (std::size_t i = 0; i < values.size(); ++i)
-      values[i] = stamped(counter, static_cast<std::int64_t>(i));
-    if (!parallel()) return;
+    if (!parallel()) {
+      for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = stamped(counter, static_cast<std::int64_t>(i));
+      return;
+    }
 
     const int version = ref_version(node, a);
     HPFC_ASSERT_MSG(status_[static_cast<std::size_t>(a)] == version,
@@ -482,13 +525,28 @@ class Machine {
     vs.live = true;
     const ConcreteLayout& lay = layout(a, version);
     const auto& shape = lay.array_shape();
-    for (int r = 0; r < lay.ranks(); ++r) {
+    // One superstep stamps both the canonical values (disjoint linear
+    // slices, one per rank) and each rank's own local piece.
+    backend_->step([&](int r) {
+      const auto [begin, end] = rank_slice(values.size(), r);
+      for (std::size_t i = begin; i < end; ++i)
+        values[i] = stamped(counter, static_cast<std::int64_t>(i));
+      if (r >= lay.ranks()) return;
       auto& local = vs.locals[static_cast<std::size_t>(r)];
       lay.for_each_owned(r, [&](std::span<const Index> global, Index pos) {
         local[static_cast<std::size_t>(pos)] =
             stamped(counter, shape.linearize(global));
       });
-    }
+    });
+  }
+
+  /// The contiguous slice of [0, n) that rank r stamps when shared
+  /// canonical values are updated cooperatively.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> rank_slice(
+      std::size_t n, int r) const {
+    const auto ranks = static_cast<std::size_t>(backend_->ranks());
+    const auto rank = static_cast<std::size_t>(r);
+    return {n * rank / ranks, n * (rank + 1) / ranks};
   }
 
   static void iterate_product(
@@ -581,7 +639,7 @@ class Machine {
   const codegen::RuntimeProgram* code_;
   RunOptions options_;
   std::mt19937 rng_;
-  net::SimNetwork net_;
+  std::unique_ptr<exec::Backend> backend_;
   RunReport report_;
 
   std::vector<int> status_;
@@ -601,6 +659,9 @@ std::string RunReport::summary() const {
   os << copies_performed << " copies (" << elements_copied << " elems), "
      << skipped_already_mapped << " already-mapped, " << skipped_live_copy
      << " live-reuse, " << net.summary();
+  if (!backend.empty())
+    os << " [" << backend << " x" << threads << ", " << exec_ms
+       << " ms wall]";
   return os.str();
 }
 

@@ -3,7 +3,8 @@
 // versions (one block-cyclic local piece per rank); the generated guard
 // code (codegen::RuntimeProgram) manages the per-array status descriptor
 // and per-copy live flags; Copy ops run real redistribution communication
-// through net::SimNetwork.
+// through an exec::Backend (the sequential BSP loop or the thread-per-rank
+// engine — both yield identical results, inbox order, and NetStats).
 //
 // Execution is differential-testable: a sequential oracle executes the
 // same control-flow path against one canonical value array per abstract
@@ -16,6 +17,7 @@
 #include <string>
 
 #include "codegen/runtime_ops.hpp"
+#include "exec/backend.hpp"
 #include "net/network.hpp"
 #include "remap/build.hpp"
 
@@ -35,6 +37,13 @@ struct RunOptions {
   /// Validate, after every step, that every live non-current copy holds
   /// the canonical values (the liveness invariant). Slow; for tests.
   bool paranoid = false;
+  /// How rank work executes on the host: the sequential BSP loop or the
+  /// thread-per-rank engine. Both produce identical results and NetStats;
+  /// only exec_ms differs. The oracle always runs sequentially.
+  exec::BackendKind backend = exec::BackendKind::Seq;
+  /// Worker threads for the thread backend (clamped to [1, ranks];
+  /// 0 = min(ranks, hardware threads)). Ignored by the seq backend.
+  int threads = 0;
 };
 
 struct RunReport {
@@ -57,6 +66,17 @@ struct RunReport {
   /// Exported dummy arguments held the canonical values at exit.
   bool exported_values_ok = true;
   net::NetStats net;
+
+  // Machine configuration and host timing, filled by every run: the
+  // resolved rank count, the execution backend that ran the rank work,
+  // the host worker threads it used, and the wall-clock time of the run
+  // itself. Program compilation happens before the timed window, but the
+  // lazy per-plan-slot transfer compilation on each site's first Copy is
+  // part of the run and is included.
+  int ranks = 0;
+  std::string backend;
+  int threads = 0;
+  double exec_ms = 0.0;
 
   [[nodiscard]] std::string summary() const;
 };

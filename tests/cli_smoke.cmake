@@ -64,6 +64,19 @@ file(READ "${report_json}" report)
 if(NOT report MATCHES "\"schema\": \"hpfc-report-v1\"")
   message(FATAL_ERROR "cli_smoke: report JSON missing schema marker:\n${report}")
 endif()
+# Machine configuration: resolved rank count, execution backend, threads.
+if(NOT report MATCHES "\"ranks\": [1-9][0-9]*")
+  message(FATAL_ERROR "cli_smoke: report JSON missing resolved ranks:\n${report}")
+endif()
+if(NOT report MATCHES "\"backend\": \"seq\"")
+  message(FATAL_ERROR "cli_smoke: report JSON missing backend:\n${report}")
+endif()
+if(NOT report MATCHES "\"threads\": [0-9]+")
+  message(FATAL_ERROR "cli_smoke: report JSON missing threads:\n${report}")
+endif()
+if(NOT report MATCHES "\"exec_ms\": [0-9]")
+  message(FATAL_ERROR "cli_smoke: report JSON missing exec_ms:\n${report}")
+endif()
 foreach(level O0 O1 O2)
   if(NOT report MATCHES "\"level\": \"${level}\"")
     message(FATAL_ERROR "cli_smoke: report JSON missing ${level} entry:\n${report}")
@@ -92,6 +105,42 @@ if(NOT CMAKE_MATCH_1 STREQUAL o2_elems)
     "stdout (${o2_elems}):\n${report}")
 endif()
 
+# The thread-per-rank backend must reproduce the same per-level counters:
+# re-run the compare under --backend=thread and diff the count fields
+# (wall-clock fields excluded) against the seq report.
+set(thread_report_json "${_bin_dir}/cli_smoke_report_thread.json")
+file(REMOVE "${thread_report_json}")
+execute_process(
+  COMMAND "${HPFC_BIN}" "${HPFC_SOURCE_DIR}/examples/quickstart.hpf"
+          --run --compare --backend=thread --threads=3
+          --report-json=${thread_report_json}
+  OUTPUT_VARIABLE thread_out
+  ERROR_VARIABLE thread_err
+  RESULT_VARIABLE thread_status)
+if(NOT thread_status EQUAL 0)
+  message(FATAL_ERROR "cli_smoke: hpfc --backend=thread exited with "
+    "${thread_status}\nstdout:\n${thread_out}\nstderr:\n${thread_err}")
+endif()
+if(thread_out MATCHES "MISMATCH")
+  message(FATAL_ERROR
+    "cli_smoke: thread backend diverged from the oracle:\n${thread_out}")
+endif()
+file(READ "${thread_report_json}" thread_report)
+if(NOT thread_report MATCHES "\"backend\": \"thread\"")
+  message(FATAL_ERROR
+    "cli_smoke: thread report JSON missing backend key:\n${thread_report}")
+endif()
+foreach(field copies_performed elements_copied messages bytes local_copies
+        segments skipped_already_mapped skipped_live_copy)
+  string(REGEX MATCHALL "\"${field}\": [0-9]+" seq_counts "${report}")
+  string(REGEX MATCHALL "\"${field}\": [0-9]+" thread_counts "${thread_report}")
+  if(NOT seq_counts STREQUAL thread_counts)
+    message(FATAL_ERROR
+      "cli_smoke: ${field} differs between backends\nseq:    ${seq_counts}\n"
+      "thread: ${thread_counts}")
+  endif()
+endforeach()
+
 message(STATUS
   "cli_smoke: OK (O0 copied ${o0_elems} elems, O2 copied ${o2_elems}, "
-  "report at ${report_json})")
+  "seq and thread backends agree, report at ${report_json})")

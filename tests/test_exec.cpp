@@ -1,0 +1,271 @@
+// Backend equivalence: the thread-per-rank engine must be observationally
+// identical to the sequential BSP engine — same read checksums, same
+// NetStats byte for byte, same deterministic (src, emission) inbox order —
+// across randomized programs, machine sizes, worker counts, and
+// random_layout-generated redistributions.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "driver/compiler.hpp"
+#include "exec/backend.hpp"
+#include "redist/commsets.hpp"
+#include "redist/segments.hpp"
+#include "support/check.hpp"
+#include "testing/program_gen.hpp"
+
+namespace hpfc {
+namespace {
+
+using driver::Compiled;
+using driver::CompileOptions;
+using driver::OptLevel;
+using mapping::ConcreteLayout;
+using mapping::Index;
+using mapping::Shape;
+
+TEST(BackendKind, ParsesAndPrints) {
+  EXPECT_EQ(exec::parse_backend_kind("seq"), exec::BackendKind::Seq);
+  EXPECT_EQ(exec::parse_backend_kind("thread"), exec::BackendKind::Thread);
+  EXPECT_FALSE(exec::parse_backend_kind("mpi").has_value());
+  EXPECT_STREQ(exec::to_string(exec::BackendKind::Seq), "seq");
+  EXPECT_STREQ(exec::to_string(exec::BackendKind::Thread), "thread");
+}
+
+TEST(Backend, FactoryReportsKindRanksWorkers) {
+  const auto seq = exec::make_backend(exec::BackendKind::Seq, 5);
+  EXPECT_EQ(seq->kind(), exec::BackendKind::Seq);
+  EXPECT_EQ(seq->ranks(), 5);
+  EXPECT_EQ(seq->workers(), 1);
+
+  const auto pooled =
+      exec::make_backend(exec::BackendKind::Thread, 5, {}, /*threads=*/2);
+  EXPECT_EQ(pooled->kind(), exec::BackendKind::Thread);
+  EXPECT_EQ(pooled->ranks(), 5);
+  EXPECT_EQ(pooled->workers(), 2);
+
+  // Oversubscription clamps: never more workers than ranks.
+  const auto clamped =
+      exec::make_backend(exec::BackendKind::Thread, 3, {}, /*threads=*/64);
+  EXPECT_EQ(clamped->workers(), 3);
+}
+
+TEST(Backend, BarrierAccountingMatchesAcrossBackends) {
+  net::CostModel cost;
+  cost.latency = 3e-6;
+  const auto seq = exec::make_backend(exec::BackendKind::Seq, 4, cost);
+  const auto thr =
+      exec::make_backend(exec::BackendKind::Thread, 4, cost, /*threads=*/2);
+  for (int i = 0; i < 3; ++i) {
+    seq->barrier();
+    thr->barrier();
+  }
+  EXPECT_EQ(seq->stats().supersteps, 3u);
+  EXPECT_EQ(seq->stats().sim_time, 3 * cost.latency);
+  EXPECT_EQ(seq->stats(), thr->stats());
+  seq->reset_stats();
+  EXPECT_EQ(seq->stats(), net::NetStats{});
+}
+
+TEST(Backend, StepRunsEveryRankExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    const auto backend =
+        exec::make_backend(exec::BackendKind::Thread, 7, {}, threads);
+    std::vector<int> visits(7, 0);
+    for (int repeat = 0; repeat < 50; ++repeat)
+      backend->step([&](int r) { ++visits[static_cast<std::size_t>(r)]; });
+    for (const int count : visits) EXPECT_EQ(count, 50);
+    // Steps are pure computation: no superstep was charged.
+    EXPECT_EQ(backend->stats().supersteps, 0u);
+  }
+}
+
+TEST(Backend, StepRethrowsRankFailures) {
+  const auto backend =
+      exec::make_backend(exec::BackendKind::Thread, 4, {}, /*threads=*/4);
+  const exec::RankFn boom = [](int r) {
+    if (r == 2) HPFC_ASSERT_MSG(false, "rank 2 exploded");
+  };
+  EXPECT_THROW(backend->step(boom), InternalError);
+  // The pool survives a throwing step and keeps working.
+  std::vector<int> visits(4, 0);
+  backend->step([&](int r) { ++visits[static_cast<std::size_t>(r)]; });
+  for (const int count : visits) EXPECT_EQ(count, 1);
+}
+
+/// Random messages between random ranks: both backends must deliver
+/// identical inboxes in identical order and account identical stats.
+TEST(Backend, ExchangeIsDeterministicAcrossBackends) {
+  std::mt19937 rng(42);
+  for (const int ranks : {1, 2, 5, 8}) {
+    for (int round = 0; round < 8; ++round) {
+      std::vector<std::vector<net::Message>> outboxes(
+          static_cast<std::size_t>(ranks));
+      for (int src = 0; src < ranks; ++src) {
+        const int count = static_cast<int>(rng() % 5);
+        for (int m = 0; m < count; ++m) {
+          net::Message msg;
+          msg.src = src;
+          msg.dst = static_cast<int>(rng() % static_cast<unsigned>(ranks));
+          msg.tag = m;
+          msg.segments = 1 + static_cast<int>(rng() % 3);
+          msg.payload.assign(rng() % 16, static_cast<double>(rng() % 100));
+          outboxes[static_cast<std::size_t>(src)].push_back(std::move(msg));
+        }
+      }
+
+      const auto seq = exec::make_backend(exec::BackendKind::Seq, ranks);
+      const auto thr = exec::make_backend(exec::BackendKind::Thread, ranks,
+                                          {}, /*threads=*/3);
+      const auto seq_in = seq->exchange(outboxes);
+      const auto thr_in = thr->exchange(outboxes);
+
+      ASSERT_EQ(seq_in.size(), thr_in.size());
+      for (std::size_t r = 0; r < seq_in.size(); ++r) {
+        ASSERT_EQ(seq_in[r].size(), thr_in[r].size()) << "rank " << r;
+        for (std::size_t i = 0; i < seq_in[r].size(); ++i) {
+          EXPECT_EQ(seq_in[r][i].src, thr_in[r][i].src);
+          EXPECT_EQ(seq_in[r][i].dst, thr_in[r][i].dst);
+          EXPECT_EQ(seq_in[r][i].tag, thr_in[r][i].tag);
+          EXPECT_EQ(seq_in[r][i].segments, thr_in[r][i].segments);
+          EXPECT_EQ(seq_in[r][i].payload, thr_in[r][i].payload);
+        }
+      }
+      EXPECT_EQ(seq->stats(), thr->stats());
+    }
+  }
+}
+
+/// One full redistribution between testing::random_layout placements,
+/// executed as the runtime executes it (pack in rank context, exchange,
+/// unpack in rank context) on both backends: destination memories and
+/// stats must be identical.
+TEST(Backend, RandomLayoutRedistributionMatchesAcrossBackends) {
+  std::mt19937 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    const Shape shape = (round % 2 == 0) ? Shape{48} : Shape{12, 10};
+    const ConcreteLayout from = testing::random_layout(rng, shape);
+    const ConcreteLayout to = testing::random_layout(rng, shape);
+    const int ranks = std::max(from.ranks(), to.ranks());
+
+    // Compile the transfers once (shared, immutable).
+    redist::RedistPlanV2 plan = redist::build_runs(from, to);
+    std::vector<redist::SegmentProgram> programs;
+    for (const auto& transfer : plan.transfers) {
+      programs.push_back(redist::compile_transfer(
+          transfer, from.owned_index_runs(transfer.src),
+          to.owned_index_runs(transfer.dst)));
+    }
+
+    std::vector<std::vector<double>> src_locals(
+        static_cast<std::size_t>(from.ranks()));
+    for (int r = 0; r < from.ranks(); ++r) {
+      auto& local = src_locals[static_cast<std::size_t>(r)];
+      local.assign(static_cast<std::size_t>(from.local_count(r)), 0.0);
+      from.for_each_owned(r, [&](std::span<const Index> global, Index pos) {
+        local[static_cast<std::size_t>(pos)] =
+            static_cast<double>(shape.linearize(global) + 1);
+      });
+    }
+
+    const auto run = [&](exec::Backend& backend) {
+      std::vector<std::vector<double>> dst_locals(
+          static_cast<std::size_t>(to.ranks()));
+      for (int r = 0; r < to.ranks(); ++r)
+        dst_locals[static_cast<std::size_t>(r)].assign(
+            static_cast<std::size_t>(to.local_count(r)), 0.0);
+      std::vector<std::vector<net::Message>> outboxes(
+          static_cast<std::size_t>(ranks));
+      backend.step([&](int r) {
+        for (std::size_t t = 0; t < programs.size(); ++t) {
+          if (programs[t].src != r) continue;
+          net::Message msg;
+          msg.src = r;
+          msg.dst = programs[t].dst;
+          msg.tag = static_cast<int>(t);
+          msg.segments = static_cast<int>(programs[t].segments.size());
+          redist::pack(programs[t], src_locals[static_cast<std::size_t>(r)],
+                       msg.payload);
+          outboxes[static_cast<std::size_t>(r)].push_back(std::move(msg));
+        }
+      });
+      const auto inboxes = backend.exchange(std::move(outboxes));
+      backend.step([&](int r) {
+        for (const auto& msg : inboxes[static_cast<std::size_t>(r)])
+          redist::unpack(programs[static_cast<std::size_t>(msg.tag)],
+                         msg.payload,
+                         dst_locals[static_cast<std::size_t>(r)]);
+      });
+      return dst_locals;
+    };
+
+    const auto seq = exec::make_backend(exec::BackendKind::Seq, ranks);
+    const auto thr =
+        exec::make_backend(exec::BackendKind::Thread, ranks, {},
+                           /*threads=*/1 + static_cast<int>(rng() % 8));
+    EXPECT_EQ(run(*seq), run(*thr)) << "round " << round;
+    EXPECT_EQ(seq->stats(), thr->stats()) << "round " << round;
+  }
+}
+
+class BackendPrograms : public ::testing::TestWithParam<unsigned> {};
+
+/// Whole-machine equivalence on randomized compilable programs: for every
+/// optimization level, machine size, and worker count, the thread backend
+/// reproduces the seq backend's checksums, counters, and NetStats, and
+/// both match the sequential oracle.
+TEST_P(BackendPrograms, ThreadBackendMatchesSeqBackend) {
+  testing::GenConfig config;
+  config.seed = GetParam();
+  auto accepted = testing::generate_compilable(config);
+  ASSERT_TRUE(accepted.has_value()) << "no compilable program found";
+
+  for (const OptLevel level : {OptLevel::O0, OptLevel::O2}) {
+    testing::GenConfig regen = config;
+    regen.seed = accepted->second;
+    DiagnosticEngine diags;
+    CompileOptions options;
+    options.level = level;
+    Compiled compiled =
+        driver::compile(testing::generate(regen), options, diags);
+    ASSERT_TRUE(compiled.ok) << diags.to_string();
+
+    // ranks=0 resolves to the largest arrangement; 16 oversizes the
+    // machine past every random arrangement (layouts own a prefix of it).
+    for (const int ranks : {0, 16}) {
+      runtime::RunOptions run_options;
+      run_options.seed = 1000 + GetParam();
+      run_options.ranks = ranks;
+      const auto oracle = driver::run_oracle(compiled, run_options);
+      EXPECT_EQ(oracle.backend, "seq");  // the oracle never threads
+
+      run_options.backend = exec::BackendKind::Seq;
+      const auto seq = driver::run(compiled, run_options);
+      ASSERT_EQ(seq.signature, oracle.signature);
+
+      for (const int threads : {0, 1, 2, 7}) {
+        run_options.backend = exec::BackendKind::Thread;
+        run_options.threads = threads;
+        const auto thr = driver::run(compiled, run_options);
+        EXPECT_EQ(thr.backend, "thread");
+        EXPECT_EQ(thr.ranks, seq.ranks);
+        EXPECT_EQ(thr.signature, seq.signature)
+            << "threads=" << threads << " ranks=" << ranks;
+        EXPECT_TRUE(thr.exported_values_ok);
+        EXPECT_EQ(thr.copies_performed, seq.copies_performed);
+        EXPECT_EQ(thr.elements_copied, seq.elements_copied);
+        EXPECT_EQ(thr.skipped_already_mapped, seq.skipped_already_mapped);
+        EXPECT_EQ(thr.skipped_live_copy, seq.skipped_live_copy);
+        EXPECT_EQ(thr.peak_bytes, seq.peak_bytes);
+        EXPECT_EQ(thr.net, seq.net) << "NetStats diverged at threads="
+                                    << threads << " ranks=" << ranks;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendPrograms,
+                         ::testing::Range(1u, 13u, 1u));
+
+}  // namespace
+}  // namespace hpfc

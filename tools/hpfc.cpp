@@ -11,6 +11,8 @@
 //   --compare           execute at all three levels and tabulate
 //   --seed=N            branch-decision seed for --run/--compare (default 7)
 //   --ranks=N           machine size (default: largest arrangement)
+//   --backend=seq|thread  execution backend for --run/--compare
+//   --threads=N         worker threads for --backend=thread (0 = auto)
 //   --validate          run the Theorem 1 validator
 //   --report-json=PATH  dump the per-level RunReport counters as JSON
 #include <fstream>
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "driver/compiler.hpp"
+#include "exec/backend.hpp"
 
 namespace {
 
@@ -37,6 +40,8 @@ struct Options {
   bool validate = false;
   unsigned seed = 7;
   int ranks = 0;
+  hpfc::exec::BackendKind backend = hpfc::exec::BackendKind::Seq;
+  int threads = 0;
   std::string report_json;
 };
 
@@ -53,7 +58,8 @@ int usage() {
          "            [--dump-graph] [--dump-dot] [--dump-code]\n"
          "            [--run] [--compare] [--seed=N] [--ranks=N]"
          " [--validate]\n"
-         "            [--report-json=PATH]\n";
+         "            [--backend=seq|thread] [--threads=N]"
+         " [--report-json=PATH]\n";
   return 2;
 }
 
@@ -79,6 +85,12 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.seed = static_cast<unsigned>(std::stoul(arg.substr(7)));
     } else if (arg.rfind("--ranks=", 0) == 0) {
       options.ranks = std::stoi(arg.substr(8));
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      const auto kind = hpfc::exec::parse_backend_kind(arg.substr(10));
+      if (!kind.has_value()) return false;
+      options.backend = *kind;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads = std::stoi(arg.substr(10));
     } else if (!arg.empty() && arg[0] != '-' && options.file.empty()) {
       options.file = arg;
     } else {
@@ -111,9 +123,21 @@ bool write_report_json(const Options& options,
     std::cerr << "hpfc: cannot write " << options.report_json << "\n";
     return false;
   }
+  // Machine configuration: resolved values from an executed run when one
+  // exists, the requested options otherwise.
+  const int ranks =
+      levels.empty() ? options.ranks : levels.front().report.ranks;
+  const std::string backend = levels.empty()
+                                  ? hpfc::exec::to_string(options.backend)
+                                  : levels.front().report.backend;
+  const int threads =
+      levels.empty() ? options.threads : levels.front().report.threads;
   out << "{\n  \"schema\": \"hpfc-report-v1\",\n";
   out << "  \"source\": \"" << json_escape(options.file) << "\",\n";
   out << "  \"seed\": " << options.seed << ",\n";
+  out << "  \"ranks\": " << ranks << ",\n";
+  out << "  \"backend\": \"" << json_escape(backend) << "\",\n";
+  out << "  \"threads\": " << threads << ",\n";
   out << "  \"levels\": [";
   for (std::size_t i = 0; i < levels.size(); ++i) {
     const auto& l = levels[i];
@@ -128,6 +152,7 @@ bool write_report_json(const Options& options,
         << ", \"skipped_already_mapped\": "
         << l.report.skipped_already_mapped
         << ", \"skipped_live_copy\": " << l.report.skipped_live_copy
+        << ", \"exec_ms\": " << l.report.exec_ms
         << ", \"oracle_match\": " << (l.oracle_match ? "true" : "false")
         << "}";
   }
@@ -171,6 +196,8 @@ int run_level(const std::string& source, const Options& options,
     runtime::RunOptions run_options;
     run_options.seed = options.seed;
     run_options.ranks = options.ranks;
+    run_options.backend = options.backend;
+    run_options.threads = options.threads;
     const auto oracle = driver::run_oracle(compiled, run_options);
     const auto report = driver::run(compiled, run_options);
     const bool matches = report.signature == oracle.signature &&
