@@ -121,6 +121,8 @@ LevelMetrics metrics_from(const std::string& level, const RunReport& report,
   metrics.remote_messages = report.net.messages;
   metrics.remote_bytes = report.net.bytes;
   metrics.pack_segments = report.net.segments;
+  metrics.packed_bytes = report.packed_bytes;
+  metrics.local_fastpath_copies = report.local_fastpath_copies;
   metrics.skipped_status_guard = report.skipped_already_mapped;
   metrics.skipped_live_copy = report.skipped_live_copy;
   metrics.sim_time_ms = report.net.sim_time * 1e3;
@@ -255,6 +257,11 @@ void Harness::record(const std::string& figure, const std::string& config,
           metrics_from(level, report, compile_wall_ms, run_wall_ms));
 }
 
+void Harness::record_metrics(const std::string& figure,
+                             const std::string& config, LevelMetrics metrics) {
+  entry(figure, config).levels.push_back(std::move(metrics));
+}
+
 void Harness::record_timing(const std::string& figure,
                             const std::string& config,
                             const std::string& level, double wall_ms) {
@@ -299,6 +306,9 @@ bool Harness::write_json() const {
          << ", \"remote_messages\": " << m.remote_messages
          << ", \"remote_bytes\": " << m.remote_bytes
          << ", \"pack_segments\": " << m.pack_segments
+         << ", \"packed_bytes\": " << m.packed_bytes
+         << ", \"local_fastpath_copies\": " << m.local_fastpath_copies
+         << ", \"host_allocs\": " << m.host_allocs
          << ", \"skipped_status_guard\": " << m.skipped_status_guard
          << ", \"skipped_live_copy\": " << m.skipped_live_copy
          << ", \"sim_time_ms\": " << m.sim_time_ms

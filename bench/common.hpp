@@ -51,6 +51,15 @@ struct LevelMetrics {
   /// Bulk-copy segments across all payloads: pack granularity
   /// (elements_copied / pack_segments is the mean copy length).
   std::uint64_t pack_segments = 0;
+  /// Payload bytes materialized into message buffers (remote transfers
+  /// only when the local fast path is active).
+  std::uint64_t packed_bytes = 0;
+  /// src == dst transfers executed as direct local copies, bypassing
+  /// message materialization.
+  std::uint64_t local_fastpath_copies = 0;
+  /// Host heap allocations during the measured run (0 when the bench does
+  /// not count them; only bespoke benches overriding operator new fill it).
+  std::uint64_t host_allocs = 0;
   int skipped_status_guard = 0;          ///< guard found array well-mapped
   int skipped_live_copy = 0;             ///< guard reused a live copy
   double sim_time_ms = 0.0;              ///< simulated machine time
@@ -123,6 +132,11 @@ class Harness {
   void record(const std::string& figure, const std::string& config,
               const std::string& level, const RunReport& report,
               double compile_wall_ms = 0.0, double run_wall_ms = 0.0);
+
+  /// Records fully pre-built metrics (benches that fill fields the
+  /// harness cannot measure itself, e.g. host_allocs).
+  void record_metrics(const std::string& figure, const std::string& config,
+                      LevelMetrics metrics);
 
   /// Records a timing-only entry (analysis/optimization scaling rows
   /// that have no simulated run attached).

@@ -20,10 +20,10 @@
 // backends; only wall-clock time differs.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "net/cost_model.hpp"
@@ -45,7 +45,28 @@ enum class BackendKind {
 /// Rank-local work executed inside a backend's rank context.  The closure
 /// must touch only rank-owned state (the rank's local memory, its slot of
 /// a per-rank scratch vector) plus immutable shared data.
-using RankFn = std::function<void(int rank)>;
+///
+/// A non-owning callable reference (two pointers, no allocation): rank
+/// closures are short-lived lambdas on the controlling thread's stack and
+/// every step() call would otherwise heap-allocate a std::function for
+/// its capture state.  The referenced callable must outlive the step()
+/// call — passing a lambda directly at the call site is always safe.
+class RankFn {
+ public:
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, RankFn> &&
+             std::is_invocable_v<const F&, int>)
+  RankFn(const F& fn)  // NOLINT(google-explicit-constructor)
+      : object_(&fn), call_([](const void* object, int rank) {
+          (*static_cast<const F*>(object))(rank);
+        }) {}
+
+  void operator()(int rank) const { call_(object_, rank); }
+
+ private:
+  const void* object_;
+  void (*call_)(const void*, int);
+};
 
 class Backend {
  public:
@@ -81,6 +102,19 @@ class Backend {
   /// A synchronization-only superstep (advances the step counter and
   /// charges one latency).
   void barrier();
+
+  /// Accounts rank-local bulk copies that bypassed message materialization
+  /// (the runtime's src == dst fast path). Byte-identical to routing the
+  /// same data through exchange() as self-messages: self-deliveries count
+  /// local_copies/local_bytes/segments but never contribute to the
+  /// superstep clock. Shared by every backend; call from the controlling
+  /// thread between steps.
+  void account_local(std::uint64_t copies, std::uint64_t bytes,
+                     std::uint64_t segments) {
+    stats_.local_copies += copies;
+    stats_.local_bytes += bytes;
+    stats_.segments += segments;
+  }
 
  protected:
   int ranks_;

@@ -87,13 +87,22 @@ class ThreadBackend final : public Backend {
     step([&](int rank) {
       // Collect in (src, emission) order.  Each message has exactly one
       // destination, so concurrent collectors move disjoint messages; the
-      // scalar src/dst fields they all read are never written here.
+      // scalar src/dst fields they all read are never written here.  A
+      // counting pass reserves the inbox exactly once (no growth
+      // reallocations in steady-state remapping loops).
       auto& inbox = inboxes[static_cast<std::size_t>(rank)];
+      std::size_t count = 0;
       for (int src = 0; src < ranks_; ++src) {
-        for (auto& msg : outboxes[static_cast<std::size_t>(src)]) {
+        for (const auto& msg : outboxes[static_cast<std::size_t>(src)]) {
           HPFC_ASSERT_MSG(msg.src == src, "message src must match its outbox");
           HPFC_ASSERT_MSG(msg.dst >= 0 && msg.dst < ranks_,
                           "bad destination");
+          if (msg.dst == rank) ++count;
+        }
+      }
+      inbox.reserve(count);
+      for (int src = 0; src < ranks_; ++src) {
+        for (auto& msg : outboxes[static_cast<std::size_t>(src)]) {
           if (msg.dst == rank) inbox.push_back(std::move(msg));
         }
       }

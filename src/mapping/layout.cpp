@@ -340,35 +340,6 @@ Index ConcreteLayout::position_in_lists(
   return position;
 }
 
-void ConcreteLayout::for_each_owned(
-    int rank,
-    const std::function<void(std::span<const Index>, Index)>& fn) const {
-  const auto lists = owned_index_lists(rank);
-  for (const auto& list : lists)
-    if (list.empty()) return;
-
-  const int rank_dims = array_shape_.rank();
-  IndexVec positions(static_cast<std::size_t>(rank_dims), 0);
-  IndexVec global(static_cast<std::size_t>(rank_dims), 0);
-  Extent count = 1;
-  for (const auto& list : lists) count *= static_cast<Extent>(list.size());
-
-  for (Extent local = 0; local < count; ++local) {
-    for (int d = 0; d < rank_dims; ++d) {
-      global[static_cast<std::size_t>(d)] =
-          lists[static_cast<std::size_t>(d)]
-               [static_cast<std::size_t>(positions[static_cast<std::size_t>(d)])];
-    }
-    fn(global, local);
-    for (int d = rank_dims - 1; d >= 0; --d) {
-      auto& pos = positions[static_cast<std::size_t>(d)];
-      if (++pos < static_cast<Index>(lists[static_cast<std::size_t>(d)].size()))
-        break;
-      pos = 0;
-    }
-  }
-}
-
 std::string ConcreteLayout::to_string() const {
   std::ostringstream os;
   os << array_shape_.to_string() << " on " << proc_shape_.to_string() << " [";

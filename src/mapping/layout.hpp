@@ -39,6 +39,21 @@ struct DimOwner {
   friend bool operator==(const DimOwner&, const DimOwner&) = default;
 };
 
+/// One maximal strided stretch of a rank's owned product set, in local
+/// (row-major product) order: local positions local_base .. local_base+len-1
+/// hold the global elements whose row-major linearizations are
+/// global_base, global_base + global_stride, ... All stretches of one rank
+/// vary only the innermost array dimension, so consumers can recover the
+/// outer coordinates by delinearizing global_base once per stretch.
+struct OwnedRun {
+  Index local_base = 0;
+  Index global_base = 0;
+  Extent global_stride = 1;
+  Extent len = 0;
+
+  friend bool operator==(const OwnedRun&, const OwnedRun&) = default;
+};
+
 class ConcreteLayout {
  public:
   ConcreteLayout() = default;
@@ -95,10 +110,91 @@ class ConcreteLayout {
                                  std::span<const Index> global);
 
   /// Calls fn(global_index, local_position) for each element owned by rank,
-  /// in local (row-major product) order.
-  void for_each_owned(
-      int rank,
-      const std::function<void(std::span<const Index>, Index)>& fn) const;
+  /// in local (row-major product) order. Templated so tight per-element
+  /// loops inline the visitor (pass any callable; std::function still
+  /// binds here when a caller needs type erasure).
+  template <typename Fn>
+  void for_each_owned(int rank, Fn&& fn) const {
+    const auto lists = owned_index_lists(rank);
+    for (const auto& list : lists)
+      if (list.empty()) return;
+
+    const int rank_dims = array_shape_.rank();
+    IndexVec positions(static_cast<std::size_t>(rank_dims), 0);
+    IndexVec global(static_cast<std::size_t>(rank_dims), 0);
+    Extent count = 1;
+    for (const auto& list : lists) count *= static_cast<Extent>(list.size());
+
+    for (Extent local = 0; local < count; ++local) {
+      for (int d = 0; d < rank_dims; ++d) {
+        global[static_cast<std::size_t>(d)] =
+            lists[static_cast<std::size_t>(d)][static_cast<std::size_t>(
+                positions[static_cast<std::size_t>(d)])];
+      }
+      fn(std::span<const Index>(global), local);
+      for (int d = rank_dims - 1; d >= 0; --d) {
+        auto& pos = positions[static_cast<std::size_t>(d)];
+        if (++pos <
+            static_cast<Index>(lists[static_cast<std::size_t>(d)].size()))
+          break;
+        pos = 0;
+      }
+    }
+  }
+
+  /// The runs-cursor form of for_each_owned: calls fn(OwnedRun) for each
+  /// maximal strided stretch of the rank's owned set, in local order, so
+  /// per-element ownership walks become bulk strided traversals. The
+  /// stretches tile the local index space exactly (local_base advances by
+  /// len) and cover the same elements as for_each_owned in the same order;
+  /// a rank-0 array yields one singleton stretch.
+  template <typename Fn>
+  void for_each_owned_run(int rank, Fn&& fn) const {
+    const int dims = array_shape_.rank();
+    if (dims == 0) {
+      fn(OwnedRun{0, 0, 1, 1});
+      return;
+    }
+    const auto runs = owned_index_runs(rank);
+    for (const auto& r : runs)
+      if (r.empty()) return;
+
+    // Row-major linear strides of the global array shape; the innermost
+    // dimension's stride is 1, so a member stride there is a linear stride.
+    std::vector<Extent> shape_stride(static_cast<std::size_t>(dims), 1);
+    for (int d = dims - 2; d >= 0; --d)
+      shape_stride[static_cast<std::size_t>(d)] =
+          shape_stride[static_cast<std::size_t>(d + 1)] *
+          array_shape_.extent(d + 1);
+
+    // Outer dimensions are enumerated member-by-member (their member count
+    // is the local extent); the innermost dimension stays in run form.
+    std::vector<std::vector<Index>> outer;
+    outer.reserve(static_cast<std::size_t>(dims - 1));
+    for (int d = 0; d + 1 < dims; ++d)
+      outer.push_back(runs[static_cast<std::size_t>(d)].materialize());
+    const IndexRuns& inner = runs[static_cast<std::size_t>(dims - 1)];
+
+    Index local = 0;
+    std::vector<std::size_t> pos(outer.size(), 0);
+    while (true) {
+      Index base = 0;
+      for (std::size_t d = 0; d < outer.size(); ++d)
+        base += outer[d][pos[d]] * shape_stride[d];
+      inner.for_each_instance([&](Index start, Extent stride, Extent count) {
+        fn(OwnedRun{local, base + start, stride, count});
+        local += count;
+      });
+      int d = static_cast<int>(outer.size()) - 1;
+      for (; d >= 0; --d) {
+        if (++pos[static_cast<std::size_t>(d)] <
+            outer[static_cast<std::size_t>(d)].size())
+          break;
+        pos[static_cast<std::size_t>(d)] = 0;
+      }
+      if (d < 0) break;
+    }
+  }
 
   [[nodiscard]] std::string to_string() const;
   friend bool operator==(const ConcreteLayout&, const ConcreteLayout&) = default;

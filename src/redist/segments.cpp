@@ -1,7 +1,6 @@
 #include "redist/segments.hpp"
 
 #include <algorithm>
-#include <functional>
 
 #include "support/check.hpp"
 
@@ -117,27 +116,59 @@ SegmentProgram compile_transfer(const TransferV2& transfer,
         dst_owned[static_cast<std::size_t>(d + 1)].count();
   }
 
-  const std::function<void(int, Index, Index)> emit = [&](int d, Index src_base,
-                                                          Index dst_base) {
+  // Appends one emitted stretch, coalescing it into the trailing segment
+  // when it continues that segment with a uniform stride on both end
+  // points. A single-element segment has no stride of its own and adopts
+  // its neighbour's (two adjacent singletons define the merged stride),
+  // so cross-period singleton streams compress back into one strided
+  // segment. The element sequence — and with it the pack order — is
+  // exactly the emission order either way.
+  const auto push_segment = [&program](const CopySegment& next) {
+    if (!program.segments.empty()) {
+      CopySegment& prev = program.segments.back();
+      Extent ss = prev.len > 1 ? prev.src_stride : next.src_stride;
+      Extent ds = prev.len > 1 ? prev.dst_stride : next.dst_stride;
+      if (prev.len == 1 && next.len == 1) {
+        ss = next.src_base - prev.src_base;
+        ds = next.dst_base - prev.dst_base;
+      }
+      const bool strides_agree =
+          prev.len == 1 || next.len == 1 ||
+          (prev.src_stride == next.src_stride &&
+           prev.dst_stride == next.dst_stride);
+      if (strides_agree && ss >= 1 && ds >= 1 &&
+          next.src_base == prev.src_base + prev.len * ss &&
+          next.dst_base == prev.dst_base + prev.len * ds) {
+        prev.src_stride = ss;
+        prev.dst_stride = ds;
+        prev.len += next.len;
+        return;
+      }
+    }
+    program.segments.push_back(next);
+  };
+
+  const auto emit = [&](auto&& self, int d, Index src_base,
+                        Index dst_base) -> void {
     const Extent sl = src_stride[static_cast<std::size_t>(d)];
     const Extent dl = dst_stride[static_cast<std::size_t>(d)];
     if (d == dims - 1) {
       for (const DimPiece& piece : pieces[static_cast<std::size_t>(d)]) {
-        program.segments.push_back({src_base + piece.src_pos0 * sl,
-                                    piece.src_step * sl,
-                                    dst_base + piece.dst_pos0 * dl,
-                                    piece.dst_step * dl, piece.len});
+        push_segment({src_base + piece.src_pos0 * sl, piece.src_step * sl,
+                      dst_base + piece.dst_pos0 * dl, piece.dst_step * dl,
+                      piece.len});
       }
       return;
     }
     for (const DimPiece& piece : pieces[static_cast<std::size_t>(d)]) {
       for (Extent j = 0; j < piece.len; ++j) {
-        emit(d + 1, src_base + (piece.src_pos0 + j * piece.src_step) * sl,
+        self(self, d + 1,
+             src_base + (piece.src_pos0 + j * piece.src_step) * sl,
              dst_base + (piece.dst_pos0 + j * piece.dst_step) * dl);
       }
     }
   };
-  emit(0, 0, 0);
+  emit(emit, 0, 0, 0);
 
 #ifndef NDEBUG
   Extent covered = 0;
@@ -175,6 +206,21 @@ void unpack(const SegmentProgram& program, std::span<const double> payload,
       for (Extent j = 0; j < seg.len; ++j) out[j * seg.dst_stride] = in[j];
     }
     in += seg.len;
+  }
+}
+
+void copy_local(const SegmentProgram& program,
+                std::span<const double> src_local,
+                std::span<double> dst_local) {
+  for (const CopySegment& seg : program.segments) {
+    const double* in = src_local.data() + seg.src_base;
+    double* out = dst_local.data() + seg.dst_base;
+    if (seg.src_stride == 1 && seg.dst_stride == 1) {
+      std::copy_n(in, seg.len, out);
+    } else {
+      for (Extent j = 0; j < seg.len; ++j)
+        out[j * seg.dst_stride] = in[j * seg.src_stride];
+    }
   }
 }
 

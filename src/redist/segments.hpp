@@ -47,6 +47,9 @@ struct SegmentProgram {
 /// default for_sending=false on both sides: local positions index the
 /// ranks' *storage* layouts, which hold the full owned set (the sending
 /// restriction only decides which rank sends, not where elements live).
+/// Adjacent emitted segments that continue each other with a uniform
+/// stride on both end points are coalesced into one segment; the element
+/// sequence (and with it the payload pack order) is unchanged.
 SegmentProgram compile_transfer(const TransferV2& transfer,
                                 std::span<const IndexRuns> src_owned,
                                 std::span<const IndexRuns> dst_owned);
@@ -59,5 +62,14 @@ void pack(const SegmentProgram& program, std::span<const double> src_local,
 /// Scatters `payload` into the destination rank's local storage.
 void unpack(const SegmentProgram& program, std::span<const double> payload,
             std::span<double> dst_local);
+
+/// Executes a src == dst program as direct strided copies between the two
+/// local storages, without materializing a payload (the runtime's local
+/// fast path). Equivalent to pack() into a scratch buffer followed by
+/// unpack(); the storages must not alias (they belong to two different
+/// array versions).
+void copy_local(const SegmentProgram& program,
+                std::span<const double> src_local,
+                std::span<double> dst_local);
 
 }  // namespace hpfc::redist

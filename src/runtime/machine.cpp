@@ -41,6 +41,50 @@ struct VersionStorage {
   std::uint64_t bytes = 0;
 };
 
+/// The compiled ownership of one rank under one layout: the rank's owned
+/// product set as bulk strided stretches over (local position, global
+/// row-major linear) space, plus whether the rank is a sending owner
+/// (under replication only coordinate-0 replicas send, so elements are
+/// read/packed exactly once; the sending set is full-or-empty per rank).
+struct RankOwnership {
+  std::vector<mapping::OwnedRun> runs;
+  bool sends = true;
+};
+
+/// Per-(array, version) ownership program, cached like plan slots: every
+/// per-element runtime loop (checksums, write stamping, live-region
+/// clears, copy verification) executes these precompiled stretches
+/// instead of re-deriving ownership per element.
+struct OwnershipProgram {
+  std::vector<RankOwnership> per_rank;  ///< indexed by layout rank
+};
+
+/// Per copy-site compiled transfer programs plus pooled buffers: the
+/// segment programs are compiled once per codegen plan slot; payload and
+/// mailbox buffers are recycled across executions so steady-state
+/// remapping loops re-run with no per-copy payload allocation.
+struct PlanSlot {
+  bool compiled = false;
+  std::vector<redist::SegmentProgram> programs;
+  /// Payload buffer per program (tag); moved into the message on pack and
+  /// reclaimed from the inbox after unpack.
+  std::vector<std::vector<double>> payload_pool;
+  /// Recycled outbox/inbox skeleton (outer and inner vector capacities).
+  std::vector<std::vector<net::Message>> mailbox_pool;
+};
+
+/// Per-rank counters written inside a copy superstep (each rank owns its
+/// slot) and reduced on the controlling thread after the barrier.
+struct CopyTally {
+  std::uint64_t local_copies = 0;
+  std::uint64_t local_bytes = 0;
+  std::uint64_t local_segments = 0;
+  std::uint64_t local_elements = 0;
+  std::uint64_t packed_bytes = 0;
+  std::uint64_t unpacked = 0;
+
+  friend bool operator==(const CopyTally&, const CopyTally&) = default;
+};
 
 class Machine {
  public:
@@ -59,19 +103,25 @@ class Machine {
     const std::size_t num_arrays = program_.arrays.size();
     status_.assign(num_arrays, 0);
     storage_.resize(num_arrays);
+    ownership_.resize(num_arrays);
     canonical_.resize(num_arrays);
     for (std::size_t a = 0; a < num_arrays; ++a) {
       if (!program_.arrays[a].has_mapping) continue;
       canonical_[a].assign(
           static_cast<std::size_t>(program_.arrays[a].shape.total()), 0.0);
-      storage_[a].resize(static_cast<std::size_t>(
-          analysis_.version_count(static_cast<ArrayId>(a))));
+      const auto versions = static_cast<std::size_t>(
+          analysis_.version_count(static_cast<ArrayId>(a)));
+      storage_[a].resize(versions);
+      ownership_[a].resize(versions);
     }
     saved_.assign(code_ != nullptr ? static_cast<std::size_t>(code_->save_slots)
                                    : 0,
                   -1);
     plan_slots_.resize(
         code_ != nullptr ? static_cast<std::size_t>(code_->plan_slots) : 0);
+    partials_.assign(static_cast<std::size_t>(backend_->ranks()), 0);
+    copy_tallies_.assign(static_cast<std::size_t>(backend_->ranks()),
+                         CopyTally{});
     if (parallel()) {
       // Dummy arguments arrive allocated by the caller with the imported
       // values (zeros initially, like the canonical array).
@@ -253,23 +303,33 @@ class Machine {
 
   /// §5.2: under memory pressure the runtime frees live non-current copies
   /// and clears their liveness; they are regenerated with communication if
-  /// needed again.
+  /// needed again. Largest victims go first: every eviction is a future
+  /// regeneration copy, so freeing one big copy beats squeezing out many
+  /// small ones.
   void evict_until_fits(ArrayId keep_array, int keep_version) {
-    for (std::size_t a = 0;
-         a < storage_.size() && bytes_in_use_ > options_.memory_limit; ++a) {
+    std::vector<std::pair<std::uint64_t, std::pair<std::size_t, std::size_t>>>
+        victims;
+    for (std::size_t a = 0; a < storage_.size(); ++a) {
       for (std::size_t v = 0; v < storage_[a].size(); ++v) {
-        if (bytes_in_use_ <= options_.memory_limit) break;
-        auto& vs = storage_[a][v];
+        const auto& vs = storage_[a][v];
         if (!vs.allocated) continue;
-        const bool is_current =
-            static_cast<int>(v) == status_[a];
+        const bool is_current = static_cast<int>(v) == status_[a];
         const bool is_keep = static_cast<int>(a) == keep_array &&
                              static_cast<int>(v) == keep_version;
         const bool is_dummy_origin = program_.arrays[a].is_dummy && v == 0;
         if (is_current || is_keep || is_dummy_origin) continue;
-        deallocate(static_cast<ArrayId>(a), static_cast<int>(v));
-        ++report_.evictions;
+        victims.push_back({vs.bytes, {a, v}});
       }
+    }
+    std::sort(victims.begin(), victims.end(),
+              [](const auto& x, const auto& y) {
+                if (x.first != y.first) return x.first > y.first;
+                return x.second < y.second;  // deterministic tie-break
+              });
+    for (const auto& [bytes, id] : victims) {
+      if (bytes_in_use_ <= options_.memory_limit) break;
+      deallocate(static_cast<ArrayId>(id.first), static_cast<int>(id.second));
+      ++report_.evictions;
     }
   }
 
@@ -332,96 +392,180 @@ class Machine {
   /// live copy (a purely local operation).
   void execute_live_region(const ir::LiveRegionStmt& live) {
     if (!program_.array(live.array).has_mapping) return;
-    const auto inside = [&](std::span<const Index> global) {
-      for (std::size_t d = 0; d < live.region.size(); ++d)
-        if (global[d] < live.region[d].first ||
-            global[d] >= live.region[d].second)
-          return false;
-      return true;
-    };
-    auto& canonical = canonical_[static_cast<std::size_t>(live.array)];
     const auto& shape = program_.array(live.array).shape;
-    shape.for_each([&](std::span<const Index> global) {
-      if (!inside(global))
-        canonical[static_cast<std::size_t>(shape.linearize(global))] = 0.0;
-    });
+    const int dims = shape.rank();
+    if (dims == 0) return;  // a scalar has no region to clip
+    auto& canonical = canonical_[static_cast<std::size_t>(live.array)];
+    // Canonical values: one incremental row-major coordinate walk.
+    {
+      mapping::IndexVec coord(static_cast<std::size_t>(dims), 0);
+      const mapping::Extent total = shape.total();
+      for (Index lin = 0; lin < total; ++lin) {
+        for (int d = 0; d < dims; ++d) {
+          const Index c = coord[static_cast<std::size_t>(d)];
+          if (c < live.region[static_cast<std::size_t>(d)].first ||
+              c >= live.region[static_cast<std::size_t>(d)].second) {
+            canonical[static_cast<std::size_t>(lin)] = 0.0;
+            break;
+          }
+        }
+        for (int d = dims - 1; d >= 0; --d) {
+          if (++coord[static_cast<std::size_t>(d)] < shape.extent(d)) break;
+          coord[static_cast<std::size_t>(d)] = 0;
+        }
+      }
+    }
     if (!parallel()) return;
+    const auto [inner_lo, inner_hi] =
+        live.region[static_cast<std::size_t>(dims - 1)];
     auto& versions = storage_[static_cast<std::size_t>(live.array)];
     for (std::size_t v = 0; v < versions.size(); ++v) {
       auto& vs = versions[v];
       if (!vs.allocated) continue;
       const ConcreteLayout& lay = layout(live.array, static_cast<int>(v));
+      const OwnershipProgram& own = ownership(live.array, static_cast<int>(v));
       backend_->step([&](int r) {
         if (r >= lay.ranks()) return;
         auto& local = vs.locals[static_cast<std::size_t>(r)];
-        lay.for_each_owned(r, [&](std::span<const Index> global, Index pos) {
-          if (!inside(global)) local[static_cast<std::size_t>(pos)] = 0.0;
-        });
+        for (const mapping::OwnedRun& run :
+             own.per_rank[static_cast<std::size_t>(r)].runs) {
+          double* vals = local.data() + run.local_base;
+          // A stretch varies only the innermost dimension: one outer
+          // bounds check, then closed-form inner clipping.
+          const mapping::IndexVec coord = shape.delinearize(run.global_base);
+          bool outer_inside = true;
+          for (int d = 0; d + 1 < dims; ++d) {
+            const Index c = coord[static_cast<std::size_t>(d)];
+            if (c < live.region[static_cast<std::size_t>(d)].first ||
+                c >= live.region[static_cast<std::size_t>(d)].second) {
+              outer_inside = false;
+              break;
+            }
+          }
+          if (!outer_inside) {
+            std::fill_n(vals, run.len, 0.0);
+            continue;
+          }
+          const Index c0 = coord[static_cast<std::size_t>(dims - 1)];
+          const mapping::Extent st = run.global_stride;
+          // First member inside and first member past the inner window.
+          const mapping::Extent j_lo = std::clamp<mapping::Extent>(
+              inner_lo <= c0 ? 0 : (inner_lo - c0 + st - 1) / st, 0, run.len);
+          const mapping::Extent j_hi = std::clamp<mapping::Extent>(
+              inner_hi <= c0 ? 0 : (inner_hi - c0 + st - 1) / st, 0, run.len);
+          std::fill_n(vals, j_lo, 0.0);
+          if (j_hi < run.len) std::fill_n(vals + j_hi, run.len - j_hi, 0.0);
+        }
       });
     }
   }
 
   /// The remapping communication: redistribute src version into dst,
-  /// optionally restricted to a live region. Payloads are packed and
-  /// scattered with the pre-compiled bulk-copy segments.
+  /// optionally restricted to a live region. Remote transfers pack into
+  /// pooled payload buffers and go through the exchange; src == dst
+  /// transfers run as direct strided local copies (no message is ever
+  /// materialized) unless RunOptions::force_message_path is set. The
+  /// NetStats are byte-identical either way: local copies are accounted
+  /// through Backend::account_local with the exact counters a
+  /// self-message would have produced.
   void copy(ArrayId a, int src, int dst, const ir::Region& region,
             int plan_slot) {
     allocate(a, src);  // an untouched source is all zeros, like canonical
     allocate(a, dst);
-    const auto& programs = transfer_programs(a, src, dst, region, plan_slot);
+    PlanSlot& slot = transfer_plan(a, src, dst, region, plan_slot);
+    const auto& programs = slot.programs;
+    const bool fast_local = !options_.force_message_path;
 
-    std::vector<std::vector<net::Message>> outboxes(
-        static_cast<std::size_t>(backend_->ranks()));
+    auto outboxes = std::move(slot.mailbox_pool);
+    outboxes.resize(static_cast<std::size_t>(backend_->ranks()));
+    for (auto& box : outboxes) box.clear();
+    std::fill(copy_tallies_.begin(), copy_tallies_.end(), CopyTally{});
+
     auto& from = storage_[static_cast<std::size_t>(a)]
                          [static_cast<std::size_t>(src)];
+    auto& to =
+        storage_[static_cast<std::size_t>(a)][static_cast<std::size_t>(dst)];
     // Each source rank packs its own transfers, in program (tag) order so
     // emission order — and with it the inbox order — is backend-invariant.
     backend_->step([&](int r) {
       auto& outbox = outboxes[static_cast<std::size_t>(r)];
+      CopyTally& tally = copy_tallies_[static_cast<std::size_t>(r)];
       for (std::size_t t = 0; t < programs.size(); ++t) {
         const redist::SegmentProgram& tp = programs[t];
         if (tp.src != r) continue;
+        if (fast_local && tp.dst == r) {
+          redist::copy_local(tp, from.locals[static_cast<std::size_t>(r)],
+                             to.locals[static_cast<std::size_t>(r)]);
+          tally.local_copies += 1;
+          tally.local_bytes +=
+              static_cast<std::uint64_t>(tp.elements) * sizeof(double);
+          tally.local_segments += tp.segments.size();
+          tally.local_elements += static_cast<std::uint64_t>(tp.elements);
+          continue;
+        }
         net::Message msg;
         msg.src = tp.src;
         msg.dst = tp.dst;
         msg.tag = static_cast<int>(t);
         msg.segments = static_cast<int>(tp.segments.size());
+        msg.payload = std::move(slot.payload_pool[t]);
         redist::pack(tp, from.locals[static_cast<std::size_t>(tp.src)],
                      msg.payload);
+        tally.packed_bytes += msg.bytes();
         outbox.push_back(std::move(msg));
       }
     });
-    const auto inboxes = backend_->exchange(std::move(outboxes));
-    auto& to =
-        storage_[static_cast<std::size_t>(a)][static_cast<std::size_t>(dst)];
-    std::vector<std::uint64_t> unpacked(
-        static_cast<std::size_t>(backend_->ranks()), 0);
+    std::uint64_t local_copies = 0;
+    std::uint64_t local_bytes = 0;
+    std::uint64_t local_segments = 0;
+    for (const CopyTally& tally : copy_tallies_) {
+      local_copies += tally.local_copies;
+      local_bytes += tally.local_bytes;
+      local_segments += tally.local_segments;
+      report_.elements_copied += tally.local_elements;
+      report_.packed_bytes += tally.packed_bytes;
+    }
+    backend_->account_local(local_copies, local_bytes, local_segments);
+    report_.local_fastpath_copies += local_copies;
+
+    auto inboxes = backend_->exchange(std::move(outboxes));
+    std::fill(copy_tallies_.begin(), copy_tallies_.end(), CopyTally{});
     backend_->step([&](int r) {
+      CopyTally& tally = copy_tallies_[static_cast<std::size_t>(r)];
       for (const auto& msg : inboxes[static_cast<std::size_t>(r)]) {
         const redist::SegmentProgram& tp =
             programs[static_cast<std::size_t>(msg.tag)];
         redist::unpack(tp, msg.payload,
                        to.locals[static_cast<std::size_t>(tp.dst)]);
-        unpacked[static_cast<std::size_t>(r)] += msg.payload.size();
+        tally.unpacked += msg.payload.size();
       }
     });
-    for (const std::uint64_t n : unpacked) report_.elements_copied += n;
+    for (const CopyTally& tally : copy_tallies_)
+      report_.elements_copied += tally.unpacked;
+    // Recycle: payload buffers go back to their tag's pool slot, and the
+    // routed mailbox skeleton (outer + inner vector capacities) becomes
+    // the next execution's outboxes.
+    for (auto& inbox : inboxes)
+      for (auto& msg : inbox)
+        slot.payload_pool[static_cast<std::size_t>(msg.tag)] =
+            std::move(msg.payload);
+    for (auto& inbox : inboxes) inbox.clear();
+    slot.mailbox_pool = std::move(inboxes);
     ++report_.copies_performed;
   }
 
-  const std::vector<redist::SegmentProgram>& transfer_programs(
-      ArrayId a, int src, int dst, const ir::Region& region, int plan_slot) {
+  PlanSlot& transfer_plan(ArrayId a, int src, int dst,
+                          const ir::Region& region, int plan_slot) {
     HPFC_ASSERT_MSG(plan_slot >= 0 &&
                         plan_slot < static_cast<int>(plan_slots_.size()),
                     "Copy op without an assigned plan slot");
-    auto& cached = plan_slots_[static_cast<std::size_t>(plan_slot)];
-    if (cached) return *cached;
+    PlanSlot& slot = plan_slots_[static_cast<std::size_t>(plan_slot)];
+    if (slot.compiled) return slot;
 
     const ConcreteLayout& from = layout(a, src);
     const ConcreteLayout& to = layout(a, dst);
     redist::RedistPlanV2 plan = redist::build_runs(from, to);
-    std::vector<redist::SegmentProgram> programs;
-    programs.reserve(plan.transfers.size());
+    slot.programs.reserve(plan.transfers.size());
     // Owned run sets are shared across a rank's transfers: one per
     // endpoint rank, never per element.
     std::map<int, std::vector<mapping::IndexRuns>> src_owned;
@@ -436,10 +580,38 @@ class Machine {
                            .try_emplace(transfer.dst,
                                         to.owned_index_runs(transfer.dst))
                            .first;
-      programs.push_back(
+      slot.programs.push_back(
           redist::compile_transfer(transfer, sit->second, dit->second));
     }
-    cached = std::move(programs);
+    slot.payload_pool.resize(slot.programs.size());
+    slot.compiled = true;
+    return slot;
+  }
+
+  /// Lazily compiles and caches the ownership program of (array, version):
+  /// the bulk-strided form of every rank's owned set plus its sending
+  /// role, shared by all per-element runtime loops over that version.
+  const OwnershipProgram& ownership(ArrayId a, int version) const {
+    auto& cached = ownership_[static_cast<std::size_t>(a)]
+                             [static_cast<std::size_t>(version)];
+    if (cached) return *cached;
+    const ConcreteLayout& lay = layout(a, version);
+    OwnershipProgram prog;
+    prog.per_rank.resize(static_cast<std::size_t>(lay.ranks()));
+    for (int r = 0; r < lay.ranks(); ++r) {
+      RankOwnership& ro = prog.per_rank[static_cast<std::size_t>(r)];
+      lay.for_each_owned_run(
+          r, [&](const mapping::OwnedRun& run) { ro.runs.push_back(run); });
+      if (lay.array_shape().rank() > 0) {
+        // The sending set is full-or-empty per rank: for_sending only
+        // excludes ranks sitting on a non-zero replicated coordinate.
+        const auto send = lay.owned_index_runs(r, /*for_sending=*/true);
+        bool excluded = send.empty();
+        for (const auto& s : send) excluded = excluded || s.empty();
+        ro.sends = !excluded;
+      }
+    }
+    cached.emplace(std::move(prog));
     return *cached;
   }
 
@@ -477,32 +649,27 @@ class Machine {
         storage_[static_cast<std::size_t>(a)][static_cast<std::size_t>(version)];
     vs.live = true;
     const ConcreteLayout& lay = layout(a, version);
-    const auto& shape = lay.array_shape();
+    const OwnershipProgram& own = ownership(a, version);
     // Each rank folds its owned elements into a private partial; the
     // wrapping uint64 sum is order-independent, so reducing the partials
     // afterwards reproduces the sequential signature exactly.
-    std::vector<std::uint64_t> partials(
-        static_cast<std::size_t>(backend_->ranks()), 0);
+    std::fill(partials_.begin(), partials_.end(), 0);
     backend_->step([&](int r) {
       if (r >= lay.ranks()) return;
-      // Primary owners only, so replicated elements count once.
-      const auto send_lists = lay.owned_index_lists(r, /*for_sending=*/true);
-      bool empty = send_lists.empty();
-      for (const auto& list : send_lists) empty = empty || list.empty();
-      if (empty && shape.rank() > 0) return;
-      const auto full_lists = lay.owned_index_lists(r);
+      const RankOwnership& ro = own.per_rank[static_cast<std::size_t>(r)];
+      if (!ro.sends) return;  // primary owners only: replicas count once
       const auto& local = vs.locals[static_cast<std::size_t>(r)];
-      std::uint64_t& partial = partials[static_cast<std::size_t>(r)];
-      iterate_product(send_lists, [&](std::span<const Index> global) {
-        const Index pos =
-            ConcreteLayout::position_in_lists(full_lists, global);
-        HPFC_ASSERT(pos >= 0);
-        partial +=
-            static_cast<std::uint64_t>(local[static_cast<std::size_t>(pos)]) *
-            weight(shape.linearize(global));
-      });
+      std::uint64_t partial = 0;
+      for (const mapping::OwnedRun& run : ro.runs) {
+        const double* vals = local.data() + run.local_base;
+        Index global = run.global_base;
+        for (mapping::Extent j = 0; j < run.len;
+             ++j, global += run.global_stride)
+          partial += static_cast<std::uint64_t>(vals[j]) * weight(global);
+      }
+      partials_[static_cast<std::size_t>(r)] = partial;
     });
-    for (const std::uint64_t partial : partials) report_.signature += partial;
+    for (const std::uint64_t partial : partials_) report_.signature += partial;
   }
 
   void touch_write(int node, ArrayId a) {
@@ -524,7 +691,7 @@ class Machine {
         storage_[static_cast<std::size_t>(a)][static_cast<std::size_t>(version)];
     vs.live = true;
     const ConcreteLayout& lay = layout(a, version);
-    const auto& shape = lay.array_shape();
+    const OwnershipProgram& own = ownership(a, version);
     // One superstep stamps both the canonical values (disjoint linear
     // slices, one per rank) and each rank's own local piece.
     backend_->step([&](int r) {
@@ -533,10 +700,14 @@ class Machine {
         values[i] = stamped(counter, static_cast<std::int64_t>(i));
       if (r >= lay.ranks()) return;
       auto& local = vs.locals[static_cast<std::size_t>(r)];
-      lay.for_each_owned(r, [&](std::span<const Index> global, Index pos) {
-        local[static_cast<std::size_t>(pos)] =
-            stamped(counter, shape.linearize(global));
-      });
+      for (const mapping::OwnedRun& run :
+           own.per_rank[static_cast<std::size_t>(r)].runs) {
+        double* vals = local.data() + run.local_base;
+        Index global = run.global_base;
+        for (mapping::Extent j = 0; j < run.len;
+             ++j, global += run.global_stride)
+          vals[j] = stamped(counter, global);
+      }
     });
   }
 
@@ -547,28 +718,6 @@ class Machine {
     const auto ranks = static_cast<std::size_t>(backend_->ranks());
     const auto rank = static_cast<std::size_t>(r);
     return {n * rank / ranks, n * (rank + 1) / ranks};
-  }
-
-  static void iterate_product(
-      const std::vector<std::vector<Index>>& lists,
-      const std::function<void(std::span<const Index>)>& fn) {
-    const int dims = static_cast<int>(lists.size());
-    mapping::Extent count = 1;
-    for (const auto& list : lists) count *= static_cast<mapping::Extent>(list.size());
-    if (count == 0) return;
-    std::vector<std::size_t> pos(static_cast<std::size_t>(dims), 0);
-    mapping::IndexVec global(static_cast<std::size_t>(dims), 0);
-    for (mapping::Extent e = 0; e < count; ++e) {
-      for (int d = 0; d < dims; ++d)
-        global[static_cast<std::size_t>(d)] =
-            lists[static_cast<std::size_t>(d)][pos[static_cast<std::size_t>(d)]];
-      fn(global);
-      for (int d = dims - 1; d >= 0; --d) {
-        auto& p = pos[static_cast<std::size_t>(d)];
-        if (++p < lists[static_cast<std::size_t>(d)].size()) break;
-        p = 0;
-      }
-    }
   }
 
   // ---- validation -------------------------------------------------------
@@ -590,19 +739,23 @@ class Machine {
     const auto& vs =
         storage_[static_cast<std::size_t>(a)][static_cast<std::size_t>(version)];
     const ConcreteLayout& lay = layout(a, version);
-    const auto& shape = lay.array_shape();
+    const OwnershipProgram& own = ownership(a, version);
     const auto& canonical = canonical_[static_cast<std::size_t>(a)];
     for (int r = 0; r < lay.ranks(); ++r) {
       const auto& local = vs.locals[static_cast<std::size_t>(r)];
-      lay.for_each_owned(r, [&](std::span<const Index> global, Index pos) {
-        const double expect =
-            canonical[static_cast<std::size_t>(shape.linearize(global))];
-        const double got = local[static_cast<std::size_t>(pos)];
-        HPFC_ASSERT_MSG(expect == got,
-                        "live copy " + program_.array(a).name + "_" +
-                            std::to_string(version) +
-                            " diverged from canonical values");
-      });
+      for (const mapping::OwnedRun& run :
+           own.per_rank[static_cast<std::size_t>(r)].runs) {
+        const double* vals = local.data() + run.local_base;
+        Index global = run.global_base;
+        for (mapping::Extent j = 0; j < run.len;
+             ++j, global += run.global_stride) {
+          const double expect = canonical[static_cast<std::size_t>(global)];
+          HPFC_ASSERT_MSG(vals[j] == expect,
+                          "live copy " + program_.array(a).name + "_" +
+                              std::to_string(version) +
+                              " diverged from canonical values");
+        }
+      }
     }
   }
 
@@ -619,16 +772,22 @@ class Machine {
         continue;
       }
       const ConcreteLayout& lay = layout(a, 0);
-      const auto& shape = lay.array_shape();
+      const OwnershipProgram& own = ownership(a, 0);
       const auto& canonical = canonical_[static_cast<std::size_t>(a)];
       bool ok = true;
       for (int r = 0; r < lay.ranks() && ok; ++r) {
         const auto& local = vs.locals[static_cast<std::size_t>(r)];
-        lay.for_each_owned(r, [&](std::span<const Index> global, Index pos) {
-          const double expect =
-              canonical[static_cast<std::size_t>(shape.linearize(global))];
-          if (local[static_cast<std::size_t>(pos)] != expect) ok = false;
-        });
+        for (const mapping::OwnedRun& run :
+             own.per_rank[static_cast<std::size_t>(r)].runs) {
+          const double* vals = local.data() + run.local_base;
+          Index global = run.global_base;
+          for (mapping::Extent j = 0; j < run.len && ok;
+               ++j, global += run.global_stride) {
+            if (vals[j] != canonical[static_cast<std::size_t>(global)])
+              ok = false;
+          }
+          if (!ok) break;
+        }
       }
       if (!ok) report_.exported_values_ok = false;
     }
@@ -644,12 +803,20 @@ class Machine {
 
   std::vector<int> status_;
   std::vector<std::vector<VersionStorage>> storage_;
+  /// Cached ownership programs per (array, version); lazily built, mutable
+  /// because the const validation paths share the cache.
+  mutable std::vector<std::vector<std::optional<OwnershipProgram>>> ownership_;
   std::vector<std::vector<double>> canonical_;
   std::vector<int> saved_;
   std::uint64_t write_counter_ = 0;
   std::uint64_t bytes_in_use_ = 0;
-  /// Compiled segment programs per static copy site (codegen plan slot).
-  std::vector<std::optional<std::vector<redist::SegmentProgram>>> plan_slots_;
+  /// Compiled transfer programs + pooled buffers per static copy site
+  /// (codegen plan slot).
+  std::vector<PlanSlot> plan_slots_;
+  /// Pre-sized per-rank scratch (one slot per rank, reset per use) so the
+  /// hot supersteps allocate nothing.
+  std::vector<std::uint64_t> partials_;
+  std::vector<CopyTally> copy_tallies_;
 };
 
 }  // namespace
@@ -658,7 +825,8 @@ std::string RunReport::summary() const {
   std::ostringstream os;
   os << copies_performed << " copies (" << elements_copied << " elems), "
      << skipped_already_mapped << " already-mapped, " << skipped_live_copy
-     << " live-reuse, " << net.summary();
+     << " live-reuse, " << local_fastpath_copies << " local-fastpath, "
+     << packed_bytes << " packed bytes, " << net.summary();
   if (!backend.empty())
     os << " [" << backend << " x" << threads << ", " << exec_ms
        << " ms wall]";

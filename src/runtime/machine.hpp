@@ -44,6 +44,12 @@ struct RunOptions {
   /// Worker threads for the thread backend (clamped to [1, ranks];
   /// 0 = min(ranks, hardware threads)). Ignored by the seq backend.
   int threads = 0;
+  /// Disable the src == dst local-copy fast path and materialize every
+  /// transfer as a self-message through the exchange, as the runtime did
+  /// historically. Results and NetStats are identical either way (the
+  /// differential tests assert it); only packed_bytes and
+  /// local_fastpath_copies move. For tests and A/B measurements.
+  bool force_message_path = false;
 };
 
 struct RunReport {
@@ -63,6 +69,13 @@ struct RunReport {
   int frees = 0;
   int evictions = 0;
   std::uint64_t peak_bytes = 0;
+  /// Payload bytes actually materialized into message buffers while
+  /// packing (remote transfers only when the local fast path is active;
+  /// every transfer under RunOptions::force_message_path).
+  std::uint64_t packed_bytes = 0;
+  /// src == dst transfers executed as direct strided local copies,
+  /// bypassing message materialization entirely.
+  std::uint64_t local_fastpath_copies = 0;
   /// Exported dummy arguments held the canonical values at exit.
   bool exported_values_ok = true;
   net::NetStats net;

@@ -83,7 +83,9 @@ TEST(Backend, StepRunsEveryRankExactlyOnce) {
 TEST(Backend, StepRethrowsRankFailures) {
   const auto backend =
       exec::make_backend(exec::BackendKind::Thread, 4, {}, /*threads=*/4);
-  const exec::RankFn boom = [](int r) {
+  // RankFn is a non-owning reference; keep the callable alive in a named
+  // lambda for the duration of the step.
+  const auto boom = [](int r) {
     if (r == 2) HPFC_ASSERT_MSG(false, "rank 2 exploded");
   };
   EXPECT_THROW(backend->step(boom), InternalError);
@@ -207,6 +209,84 @@ TEST(Backend, RandomLayoutRedistributionMatchesAcrossBackends) {
     EXPECT_EQ(seq->stats(), thr->stats()) << "round " << round;
   }
 }
+
+TEST(Backend, AccountLocalMatchesSelfMessageAccounting) {
+  // account_local must produce the exact NetStats a routed self-message
+  // would: same local_copies/local_bytes/segments, no clock contribution.
+  const auto via_hook = exec::make_backend(exec::BackendKind::Seq, 4);
+  const auto via_message = exec::make_backend(exec::BackendKind::Seq, 4);
+
+  net::Message self;
+  self.src = 2;
+  self.dst = 2;
+  self.segments = 3;
+  self.payload.assign(17, 1.0);
+  std::vector<std::vector<net::Message>> outboxes(4);
+  outboxes[2].push_back(self);
+  (void)via_message->exchange(std::move(outboxes));
+
+  via_hook->account_local(1, 17 * sizeof(double), 3);
+  (void)via_hook->exchange(std::vector<std::vector<net::Message>>(4));
+
+  EXPECT_EQ(via_hook->stats(), via_message->stats());
+}
+
+/// The src == dst local-copy fast path must be observationally identical
+/// to the historical message path: same checksums, same NetStats byte for
+/// byte, same counters — on both backends, over randomized programs whose
+/// redistributions mix local and remote transfers.
+class FastPathPrograms : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FastPathPrograms, LocalFastPathMatchesMessagePath) {
+  testing::GenConfig config;
+  config.seed = 100 + GetParam();
+  auto accepted = testing::generate_compilable(config);
+  ASSERT_TRUE(accepted.has_value()) << "no compilable program found";
+
+  testing::GenConfig regen = config;
+  regen.seed = accepted->second;
+  DiagnosticEngine diags;
+  CompileOptions options;
+  options.level = OptLevel::O2;
+  Compiled compiled =
+      driver::compile(testing::generate(regen), options, diags);
+  ASSERT_TRUE(compiled.ok) << diags.to_string();
+
+  runtime::RunOptions run_options;
+  run_options.seed = 2000 + GetParam();
+  const auto oracle = driver::run_oracle(compiled, run_options);
+
+  for (const auto backend :
+       {exec::BackendKind::Seq, exec::BackendKind::Thread}) {
+    run_options.backend = backend;
+    run_options.threads = 3;
+    run_options.force_message_path = false;
+    const auto fast = driver::run(compiled, run_options);
+    run_options.force_message_path = true;
+    const auto slow = driver::run(compiled, run_options);
+
+    EXPECT_EQ(fast.signature, oracle.signature);
+    EXPECT_EQ(slow.signature, oracle.signature);
+    EXPECT_TRUE(fast.exported_values_ok);
+    EXPECT_TRUE(slow.exported_values_ok);
+    EXPECT_EQ(fast.net, slow.net) << "NetStats diverged between the local "
+                                     "fast path and the message path";
+    EXPECT_EQ(fast.copies_performed, slow.copies_performed);
+    EXPECT_EQ(fast.elements_copied, slow.elements_copied);
+    EXPECT_EQ(fast.skipped_already_mapped, slow.skipped_already_mapped);
+    EXPECT_EQ(fast.skipped_live_copy, slow.skipped_live_copy);
+    // The message path materializes every transfer; the fast path only
+    // the remote ones.
+    EXPECT_EQ(slow.local_fastpath_copies, 0u);
+    EXPECT_EQ(fast.local_fastpath_copies, fast.net.local_copies);
+    EXPECT_LE(fast.packed_bytes, slow.packed_bytes);
+    EXPECT_EQ(slow.packed_bytes - fast.packed_bytes,
+              fast.net.local_bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastPathPrograms,
+                         ::testing::Range(1u, 9u, 1u));
 
 class BackendPrograms : public ::testing::TestWithParam<unsigned> {};
 

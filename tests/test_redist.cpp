@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <random>
 #include <set>
 
 #include "redist/commsets.hpp"
+#include "redist/segments.hpp"
+#include "testing/program_gen.hpp"
 
 namespace hpfc::redist {
 namespace {
@@ -178,6 +181,132 @@ TEST(Redist2D, TransposeRedistribution) {
   // All-to-all: 4x4 = 16 transfers of a 2x2 tile each.
   EXPECT_EQ(oracle.transfers.size(), 16u);
   for (const auto& t : oracle.transfers) EXPECT_EQ(t.count(), 4);
+}
+
+// ---- segment coalescing and the local fast path -----------------------
+
+/// Pack the program's payload from identity-valued source storage: the
+/// payload *is* the sequence of source local positions, i.e. the pack
+/// order. Coalescing must not change it.
+std::vector<double> pack_order(const SegmentProgram& program,
+                               Extent src_count) {
+  std::vector<double> src_local(static_cast<std::size_t>(src_count));
+  for (std::size_t i = 0; i < src_local.size(); ++i)
+    src_local[i] = static_cast<double>(i);
+  std::vector<double> payload;
+  pack(program, src_local, payload);
+  return payload;
+}
+
+TEST(SegmentCoalescing, MergesContiguousRowsIntoOneSegment) {
+  // 8x8, rows block(2) on 4 ranks -> rows block(4) on 2 ranks: the
+  // transfer rank0 -> rank0 covers rows 0..1 full-width; per-row emission
+  // would be two len-8 segments that continue each other contiguously in
+  // both local spaces, so they must coalesce into one len-16 segment.
+  DimOwner fine;
+  fine.source = AlignTarget::axis(0);
+  fine.template_extent = 8;
+  fine.format = DistFormat::block(2);
+  const auto from = ConcreteLayout::make(Shape{8, 8}, Shape{4}, {fine});
+  DimOwner coarse;
+  coarse.source = AlignTarget::axis(0);
+  coarse.template_extent = 8;
+  coarse.format = DistFormat::block(4);
+  const auto to = ConcreteLayout::make(Shape{8, 8}, Shape{2}, {coarse});
+
+  const RedistPlanV2 plan = build_runs(from, to);
+  bool checked = false;
+  for (const auto& t : plan.transfers) {
+    if (t.src != 0 || t.dst != 0) continue;
+    const auto program = compile_transfer(t, from.owned_index_runs(t.src),
+                                          to.owned_index_runs(t.dst));
+    EXPECT_EQ(program.elements, 16);
+    EXPECT_EQ(program.segments.size(), 1u);
+    EXPECT_EQ(program.contiguous_segments(), 1u);
+    checked = true;
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(SegmentCoalescing, PreservesPackOrderAndCoverage) {
+  // Every coalesced program must cover exactly its element count and pack
+  // in exactly the ascending product order of the materialized transfer.
+  std::mt19937 rng(2024);
+  const Shape shapes[] = {Shape{16}, Shape{24}, Shape{9, 14}, Shape{8, 8}};
+  for (int trial = 0; trial < 60; ++trial) {
+    const Shape& shape = shapes[trial % 4];
+    const ConcreteLayout from = testing::random_layout(rng, shape);
+    const ConcreteLayout to = testing::random_layout(rng, shape);
+    const RedistPlanV2 plan = build_runs(from, to);
+    for (const auto& t : plan.transfers) {
+      const auto program = compile_transfer(t, from.owned_index_runs(t.src),
+                                            to.owned_index_runs(t.dst));
+      Extent covered = 0;
+      for (const auto& seg : program.segments) {
+        EXPECT_GE(seg.len, 1);
+        covered += seg.len;
+      }
+      EXPECT_EQ(covered, program.elements);
+
+      // The oracle pack order: enumerate the materialized transfer in
+      // row-major product order and resolve source local positions.
+      const Transfer oracle = t.materialize();
+      const auto src_lists = from.owned_index_lists(t.src);
+      std::vector<double> expected;
+      std::vector<std::size_t> pos(oracle.dim_indices.size(), 0);
+      mapping::IndexVec global(oracle.dim_indices.size(), 0);
+      for (Extent e = 0; e < oracle.count(); ++e) {
+        for (std::size_t d = 0; d < oracle.dim_indices.size(); ++d)
+          global[d] = oracle.dim_indices[d][pos[d]];
+        expected.push_back(static_cast<double>(
+            ConcreteLayout::position_in_lists(src_lists, global)));
+        for (int d = static_cast<int>(oracle.dim_indices.size()) - 1; d >= 0;
+             --d) {
+          auto& p = pos[static_cast<std::size_t>(d)];
+          if (++p < oracle.dim_indices[static_cast<std::size_t>(d)].size())
+            break;
+          p = 0;
+        }
+      }
+      EXPECT_EQ(pack_order(program, from.local_count(t.src)), expected)
+          << from.to_string() << " -> " << to.to_string();
+    }
+  }
+}
+
+TEST(CopyLocal, MatchesPackUnpackOnRandomLayoutRedistributions) {
+  // The local fast path must write exactly what a pack -> payload ->
+  // unpack round trip writes, for every transfer of random_layout
+  // redistribution plans.
+  std::mt19937 rng(77);
+  const Shape shapes[] = {Shape{32}, Shape{21}, Shape{10, 12}};
+  for (int trial = 0; trial < 40; ++trial) {
+    const Shape& shape = shapes[trial % 3];
+    const ConcreteLayout from = testing::random_layout(rng, shape);
+    const ConcreteLayout to = testing::random_layout(rng, shape);
+    const RedistPlanV2 plan = build_runs(from, to);
+    for (const auto& t : plan.transfers) {
+      const auto program = compile_transfer(t, from.owned_index_runs(t.src),
+                                            to.owned_index_runs(t.dst));
+      std::vector<double> src_local(
+          static_cast<std::size_t>(from.local_count(t.src)));
+      for (std::size_t i = 0; i < src_local.size(); ++i)
+        src_local[i] = static_cast<double>(1000 * trial + i);
+
+      std::vector<double> via_payload(
+          static_cast<std::size_t>(to.local_count(t.dst)), -1.0);
+      std::vector<double> payload;
+      pack(program, src_local, payload);
+      unpack(program, payload, via_payload);
+
+      std::vector<double> via_local(
+          static_cast<std::size_t>(to.local_count(t.dst)), -1.0);
+      copy_local(program, src_local, via_local);
+
+      EXPECT_EQ(via_local, via_payload)
+          << from.to_string() << " -> " << to.to_string();
+    }
+  }
 }
 
 TEST(Redist, ReplicatedDestinationReceivesEverywhere) {

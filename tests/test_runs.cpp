@@ -148,6 +148,36 @@ TEST(LayoutRuns, RandomLayoutsMatchListsAcrossMachineSizes) {
   }
 }
 
+TEST(LayoutRuns, ForEachOwnedRunTilesForEachOwnedExactly) {
+  // The runs-cursor API must visit the identical (local, global linear)
+  // pairs as the per-element visitor, in the identical order, with
+  // stretches tiling the local index space exactly.
+  std::mt19937 rng(31);
+  const Shape shapes[] = {Shape{17}, Shape{24}, Shape{12, 10}, Shape{7, 9}};
+  for (int trial = 0; trial < 120; ++trial) {
+    const Shape& shape = shapes[trial % 4];
+    const ConcreteLayout lay = random_layout(rng, shape);
+    for (int r = 0; r < lay.ranks(); ++r) {
+      std::vector<std::pair<Index, Index>> expected;
+      lay.for_each_owned(r, [&](std::span<const Index> global, Index pos) {
+        expected.emplace_back(pos, shape.linearize(global));
+      });
+      std::vector<std::pair<Index, Index>> got;
+      Index next_local = 0;
+      lay.for_each_owned_run(r, [&](const mapping::OwnedRun& run) {
+        EXPECT_EQ(run.local_base, next_local) << lay.to_string();
+        EXPECT_GE(run.len, 1);
+        next_local += run.len;
+        for (Extent j = 0; j < run.len; ++j)
+          got.emplace_back(run.local_base + j,
+                           run.global_base + j * run.global_stride);
+      });
+      EXPECT_EQ(got, expected) << lay.to_string() << " rank " << r;
+      EXPECT_EQ(next_local, lay.local_count(r)) << lay.to_string();
+    }
+  }
+}
+
 // ---- plan-level equivalence -------------------------------------------
 
 void expect_plans_identical(const redist::RedistPlan& oracle,

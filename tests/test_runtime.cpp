@@ -136,6 +136,53 @@ TEST(Runtime, EvictionRegeneratesCopiesWithCommunication) {
   EXPECT_EQ(squeezed.signature, oracle.signature);
 }
 
+TEST(Runtime, EvictionPrefersLargestCopies) {
+  // Two live non-current copies exist when pressure hits: tiny A_0 (64
+  // elements) and big B_0 (8192 elements). Evicting in first-index order
+  // would free A_0 first (not enough) and then B_0 anyway — two
+  // regenerations for one shortfall. The policy must free the largest
+  // victim first, so exactly one eviction suffices.
+  ProgramBuilder b("evict_order");
+  b.procs("P", Shape{4});
+  b.array("A", Shape{64});
+  b.distribute_array("A", {DistFormat::block()}, "P");
+  b.array("B", Shape{8192});
+  b.distribute_array("B", {DistFormat::block()}, "P");
+  b.array("C", Shape{8192});
+  b.distribute_array("C", {DistFormat::block()}, "P");
+  b.def({"A"});
+  b.def({"B"});
+  b.redistribute("A", {DistFormat::cyclic()}, "", "1");
+  b.use({"A"});
+  b.redistribute("B", {DistFormat::cyclic()}, "", "2");
+  b.use({"B"});
+  b.def({"C"});  // pressure: A_0 and B_0 are live non-current
+  b.redistribute("A", {DistFormat::block()}, "", "3");
+  b.use({"A"});
+  b.redistribute("B", {DistFormat::block()}, "", "4");
+  b.use({"B"});
+  const Compiled c = compile_builder(b, OptLevel::O2);
+
+  const auto unlimited = driver::run(c);
+  ASSERT_EQ(unlimited.evictions, 0);
+  EXPECT_EQ(unlimited.skipped_live_copy, 2);  // both A_0 and B_0 reused
+
+  // Bytes live when C_0 allocates: A_0+A_1 (2*512) + B_0+B_1 (2*65536)
+  // plus C_0's 65536 = 197632. The 190000-byte limit leaves a shortfall
+  // a small copy cannot close: first-index order would evict A_0 (512
+  // bytes, useless) and then B_0 anyway; largest-first frees exactly one
+  // copy, and only B_0's reuse is lost (one regeneration copy).
+  runtime::RunOptions tight;
+  tight.memory_limit = 190000;
+  const auto squeezed = driver::run(c, tight);
+  EXPECT_EQ(squeezed.evictions, 1);
+  EXPECT_EQ(squeezed.skipped_live_copy, 1);  // A_0 survived the squeeze
+  EXPECT_EQ(squeezed.copies_performed, unlimited.copies_performed + 1);
+  const auto oracle = driver::run_oracle(c, tight);
+  EXPECT_EQ(squeezed.signature, oracle.signature);
+  EXPECT_TRUE(squeezed.exported_values_ok);
+}
+
 TEST(Runtime, ExportedDummyValuesVerifiedAtExit) {
   ProgramBuilder b("export");
   b.procs("P", Shape{4});

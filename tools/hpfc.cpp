@@ -149,6 +149,8 @@ bool write_report_json(const Options& options,
         << ", \"bytes\": " << l.report.net.bytes
         << ", \"local_copies\": " << l.report.net.local_copies
         << ", \"segments\": " << l.report.net.segments
+        << ", \"packed_bytes\": " << l.report.packed_bytes
+        << ", \"local_fastpath_copies\": " << l.report.local_fastpath_copies
         << ", \"skipped_already_mapped\": "
         << l.report.skipped_already_mapped
         << ", \"skipped_live_copy\": " << l.report.skipped_live_copy
