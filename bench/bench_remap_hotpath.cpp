@@ -7,6 +7,13 @@
 // The per-backend configs are recorded under backend-tagged names so the
 // CI seq-vs-thread compare sees the identical counter sets from either
 // matrix leg.
+//
+// A second, multi-array configuration (fig16_multi: k arrays aligned to
+// one template, remapped together per loop trip) measures the fused remap
+// supersteps: with cross-array aggregation on (the default) each remap
+// vertex costs ONE exchange superstep; the `unfused` rows re-run with
+// RunOptions::unfuse_copy_groups to show `supersteps` k-fold higher at
+// byte-identical elements/segments/bytes.
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -99,6 +106,55 @@ int main(int argc, char** argv) {
            std::to_string(report.local_fastpath_copies) +
            " packed_bytes=" + std::to_string(report.packed_bytes));
       harness.record_metrics("remap_hotpath", config, std::move(metrics));
+    }
+
+    // Cross-array aggregation: one remap vertex moving 4 arrays at once.
+    banner("remap_hotpath: fused remap supersteps (fig16_multi, O0)",
+           "k copies emitted for one remapping vertex share one "
+           "communication round instead of k (the alpha term drops "
+           "k-fold; data-volume counters are unchanged)");
+    const int arrays = 4;
+    const hpfc::mapping::Extent multi_n = 1 << 18;
+    const Compiled multi =
+        compile(fig16_multi(multi_n, procs, arrays, trips), OptLevel::O0);
+    // One oracle run covers every leg: the oracle always executes
+    // sequentially, independent of backend and fusion toggles.
+    hpfc::runtime::RunOptions multi_options;
+    multi_options.seed = harness.options().seed;
+    const auto oracle = hpfc::driver::run_oracle(multi, multi_options);
+    for (const auto backend :
+         {hpfc::exec::BackendKind::Seq, hpfc::exec::BackendKind::Thread}) {
+      for (const bool unfuse : {false, true}) {
+        hpfc::runtime::RunOptions options = multi_options;
+        options.backend = backend;
+        options.threads = 8;
+        options.unfuse_copy_groups = unfuse;
+        // Warm-up outside the timed window, like the fig16 configs: the
+        // first run pays plan/fused-slot compilation.
+        (void)hpfc::driver::run(multi, options);
+        RunReport report = hpfc::driver::run(multi, options);
+        double best_exec_ms = report.exec_ms;
+        for (int rep = 1; rep < harness.options().reps; ++rep) {
+          report = hpfc::driver::run(multi, options);
+          if (report.exec_ms < best_exec_ms) best_exec_ms = report.exec_ms;
+        }
+        if (report.signature != oracle.signature ||
+            !report.exported_values_ok) {
+          std::fprintf(stderr, "remap_hotpath multi diverged from oracle\n");
+          std::abort();
+        }
+        LevelMetrics metrics = metrics_from("O0", report);
+        metrics.exec_ms = best_exec_ms;
+        const std::string config =
+            std::string("P=8 n=262144 arrays=4 trips=6 ") +
+            (unfuse ? "unfused " : "fused ") + hpfc::exec::to_string(backend);
+        row(config, metrics);
+        note(config + ": supersteps=" + std::to_string(metrics.supersteps) +
+             " fused_copies=" + std::to_string(metrics.fused_copies) +
+             " messages=" + std::to_string(metrics.remote_messages) +
+             " sim_time_ms=" + std::to_string(metrics.sim_time_ms));
+        harness.record_metrics("remap_hotpath", config, std::move(metrics));
+      }
     }
   });
 }

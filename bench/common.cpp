@@ -123,6 +123,8 @@ LevelMetrics metrics_from(const std::string& level, const RunReport& report,
   metrics.pack_segments = report.net.segments;
   metrics.packed_bytes = report.packed_bytes;
   metrics.local_fastpath_copies = report.local_fastpath_copies;
+  metrics.supersteps = report.net.supersteps;
+  metrics.fused_copies = report.net.fused_copies;
   metrics.skipped_status_guard = report.skipped_already_mapped;
   metrics.skipped_live_copy = report.skipped_live_copy;
   metrics.sim_time_ms = report.net.sim_time * 1e3;
@@ -308,6 +310,8 @@ bool Harness::write_json() const {
          << ", \"pack_segments\": " << m.pack_segments
          << ", \"packed_bytes\": " << m.packed_bytes
          << ", \"local_fastpath_copies\": " << m.local_fastpath_copies
+         << ", \"supersteps\": " << m.supersteps
+         << ", \"fused_copies\": " << m.fused_copies
          << ", \"host_allocs\": " << m.host_allocs
          << ", \"skipped_status_guard\": " << m.skipped_status_guard
          << ", \"skipped_live_copy\": " << m.skipped_live_copy
@@ -485,6 +489,28 @@ hpfc::ir::Program fig16(Extent n, int procs, Extent trips) {
   b.redistribute("A", {DistFormat::block()}, "", "2");
   b.end_loop();
   b.use({"A"});
+  DiagnosticEngine diags;
+  return b.finish(diags);
+}
+
+hpfc::ir::Program fig16_multi(Extent n, int procs, int arrays, Extent trips) {
+  ProgramBuilder b("fig16multi");
+  b.procs("P", Shape{procs});
+  b.tmpl("T", Shape{n});
+  b.distribute_template("T", {DistFormat::block()}, "P");
+  std::vector<std::string> names;
+  for (int i = 0; i < arrays; ++i) {
+    names.push_back("A" + std::to_string(i));
+    b.array(names.back(), Shape{n});
+    b.align(names.back(), "T", Alignment::identity(1));
+  }
+  b.use(names);
+  b.begin_loop(trips);
+  b.redistribute("T", {DistFormat::cyclic()}, "", "1");
+  b.use(names);
+  b.redistribute("T", {DistFormat::block()}, "", "2");
+  b.end_loop();
+  b.use(names);
   DiagnosticEngine diags;
   return b.finish(diags);
 }

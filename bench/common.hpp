@@ -57,6 +57,13 @@ struct LevelMetrics {
   /// src == dst transfers executed as direct local copies, bypassing
   /// message materialization.
   std::uint64_t local_fastpath_copies = 0;
+  /// Exchange supersteps the run performed (one per fused copy group
+  /// flush, one per unfused copy) — the alpha-term unit of the cost model.
+  std::uint64_t supersteps = 0;
+  /// Copies whose communication shared a superstep with at least one
+  /// other copy (cross-array message aggregation); 0 when every remap
+  /// vertex moves a single array or fusion is disabled.
+  std::uint64_t fused_copies = 0;
   /// Host heap allocations during the measured run (0 when the bench does
   /// not count them; only bespoke benches overriding operator new fill it).
   std::uint64_t host_allocs = 0;
@@ -195,6 +202,11 @@ hpfc::ir::Program fig13(hpfc::mapping::Extent n, int procs,
 /// Figure 16: loop-invariant remappings over `trips` iterations.
 hpfc::ir::Program fig16(hpfc::mapping::Extent n, int procs,
                         hpfc::mapping::Extent trips);
+/// Figure 16 with a fan-out: `arrays` template-aligned arrays remapped
+/// together by each loop redistribution, so every remap vertex copies k
+/// arrays at once (the fused-superstep workload).
+hpfc::ir::Program fig16_multi(hpfc::mapping::Extent n, int procs, int arrays,
+                              hpfc::mapping::Extent trips);
 /// Figure 18: ambiguous reaching mapping around a call.
 hpfc::ir::Program fig18(hpfc::mapping::Extent n, int procs);
 

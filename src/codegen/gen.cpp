@@ -51,6 +51,7 @@ class Generator {
     }
     emit_exit_cleanup(code);
     code.plan_slots = static_cast<int>(plan_slot_ids_.size());
+    code.copy_groups = next_group_;
     return code;
   }
 
@@ -84,6 +85,11 @@ class Generator {
 
   void emit_vertex(RuntimeProgram& code, const RemapVertex& v) {
     OpList& ops = code.at_node[static_cast<std::size_t>(v.cfg_node)];
+    // One shared communication round per vertex: all the arrays this
+    // vertex remaps exchange in a single fused superstep. The id is
+    // allocated lazily by the first emitted Copy so copy-free vertices
+    // claim no group.
+    vertex_group_ = -1;
 
     // Figure 18: save the reaching status before the call for every
     // ambiguous restore performed at the matching CallPost.
@@ -152,6 +158,8 @@ class Generator {
         copy.src_version = src;
         copy.region = label.live_region;
         copy.plan_slot = plan_slot(a, src, leaving, label.live_region);
+        if (vertex_group_ < 0) vertex_group_ = next_group_++;
+        copy.copy_group = vertex_group_;
         dispatch.body.push_back(std::move(copy));
         live_body.push_back(std::move(dispatch));
       }
@@ -236,6 +244,8 @@ class Generator {
   const CodegenOptions& options_;
   std::map<std::pair<int, ArrayId>, int> save_slot_;
   std::map<std::tuple<ArrayId, int, int, ir::Region>, int> plan_slot_ids_;
+  int vertex_group_ = -1;
+  int next_group_ = 0;
 };
 
 }  // namespace

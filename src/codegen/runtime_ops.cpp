@@ -42,7 +42,9 @@ void print_ops(std::ostream& os, const ir::Program& program, const OpList& ops,
         break;
       case OpKind::Copy:
         os << pad << name << "_" << op.version << " = " << name << "_"
-           << op.src_version << "   ! remapping communication\n";
+           << op.src_version << "   ! remapping communication";
+        if (op.copy_group >= 0) os << " (round " << op.copy_group << ")";
+        os << "\n";
         break;
       case OpKind::SetLive:
         os << pad << "live(" << name << "_" << op.version << ") = "

@@ -36,6 +36,11 @@ struct Op {
   /// with the same (array, versions, region) share a slot, so the runtime
   /// compiles each distinct redistribution once and indexes a flat table.
   int plan_slot = -1;
+  /// Copy only: the remapping vertex's shared communication round. Every
+  /// Copy emitted for one REALIGN/REDISTRIBUTE vertex carries the same
+  /// group id, so the runtime can aggregate the copies that actually fire
+  /// into a single fused exchange superstep instead of one per copy.
+  int copy_group = -1;
   /// Copy only: when non-empty, communication is restricted to this
   /// rectangle (§4.3 live-region refinement).
   ir::Region region;
@@ -51,7 +56,8 @@ struct RuntimeProgram {
   OpList at_entry;  ///< status / live-flag initialization (Figure 19 loop 1)
   OpList at_exit;   ///< final cleanup (Figure 19 last loop)
   int save_slots = 0;
-  int plan_slots = 0;  ///< number of distinct Copy plan-cache slots
+  int plan_slots = 0;   ///< number of distinct Copy plan-cache slots
+  int copy_groups = 0;  ///< number of per-vertex fused communication rounds
 
   [[nodiscard]] std::string to_text(const ir::Program& program) const;
 

@@ -116,6 +116,12 @@ class Backend {
     stats_.segments += segments;
   }
 
+  /// Accounts copies whose communication was aggregated into a shared
+  /// exchange superstep (a CopyGroup flush with two or more members).
+  /// Purely a counter: the superstep itself was already charged by the
+  /// exchange that carried the fused messages.
+  void account_fused(std::uint64_t copies) { stats_.fused_copies += copies; }
+
  protected:
   int ranks_;
   net::CostModel cost_;

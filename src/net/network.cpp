@@ -15,6 +15,7 @@ NetStats& NetStats::operator+=(const NetStats& other) {
   local_bytes += other.local_bytes;
   segments += other.segments;
   supersteps += other.supersteps;
+  fused_copies += other.fused_copies;
   sim_time += other.sim_time;
   return *this;
 }
@@ -26,6 +27,7 @@ NetStats operator-(NetStats a, const NetStats& b) {
   a.local_bytes -= b.local_bytes;
   a.segments -= b.segments;
   a.supersteps -= b.supersteps;
+  a.fused_copies -= b.fused_copies;
   a.sim_time -= b.sim_time;
   return a;
 }
@@ -35,7 +37,7 @@ std::string NetStats::summary() const {
   os << messages << " msgs, " << format_bytes(bytes) << ", "
      << local_copies << " local copies (" << format_bytes(local_bytes)
      << "), " << segments << " segs, " << supersteps << " steps, "
-     << sim_time * 1e3 << " ms";
+     << fused_copies << " fused, " << sim_time * 1e3 << " ms";
   return os.str();
 }
 

@@ -31,6 +31,11 @@ struct NetStats {
   /// the pack granularity — elements / segments is the mean copy length.
   std::uint64_t segments = 0;
   std::uint64_t supersteps = 0;
+  /// Remapping copies whose communication shared one exchange superstep
+  /// with at least one other copy (cross-array message aggregation): the
+  /// alpha-term savings counter — it stays 0 when every copy runs its own
+  /// superstep.
+  std::uint64_t fused_copies = 0;
   double sim_time = 0.0;  ///< seconds under the cost model
 
   NetStats& operator+=(const NetStats& other);

@@ -182,7 +182,13 @@ SegmentProgram compile_transfer(const TransferV2& transfer,
 void pack(const SegmentProgram& program, std::span<const double> src_local,
           std::vector<double>& payload) {
   payload.resize(static_cast<std::size_t>(program.elements));
-  double* out = payload.data();
+  pack_into(program, src_local, payload);
+}
+
+void pack_into(const SegmentProgram& program, std::span<const double> src_local,
+               std::span<double> window) {
+  HPFC_ASSERT(static_cast<Extent>(window.size()) == program.elements);
+  double* out = window.data();
   for (const CopySegment& seg : program.segments) {
     const double* in = src_local.data() + seg.src_base;
     if (seg.src_stride == 1) {

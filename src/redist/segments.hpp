@@ -59,6 +59,12 @@ SegmentProgram compile_transfer(const TransferV2& transfer,
 void pack(const SegmentProgram& program, std::span<const double> src_local,
           std::vector<double>& payload);
 
+/// Packs into a caller-provided window of exactly `program.elements`
+/// doubles — the framing primitive for fused multi-array payloads, where
+/// several programs pack into disjoint slices of one combined buffer.
+void pack_into(const SegmentProgram& program, std::span<const double> src_local,
+               std::span<double> out);
+
 /// Scatters `payload` into the destination rank's local storage.
 void unpack(const SegmentProgram& program, std::span<const double> payload,
             std::span<double> dst_local);

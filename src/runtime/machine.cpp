@@ -9,6 +9,7 @@
 
 #include "exec/backend.hpp"
 #include "redist/commsets.hpp"
+#include "redist/fused.hpp"
 #include "redist/segments.hpp"
 #include "support/check.hpp"
 #include "support/strings.hpp"
@@ -70,6 +71,34 @@ struct PlanSlot {
   /// reclaimed from the inbox after unpack.
   std::vector<std::vector<double>> payload_pool;
   /// Recycled outbox/inbox skeleton (outer and inner vector capacities).
+  std::vector<std::vector<net::Message>> mailbox_pool;
+};
+
+/// One Copy op recorded while its vertex's guard code runs: the data
+/// movement is deferred so every copy the vertex fires can share a single
+/// fused exchange superstep. (array, versions) are fixed by the plan slot,
+/// but are kept for direct storage addressing at flush time.
+struct PendingCopy {
+  ArrayId array = -1;
+  int src = -1;
+  int dst = -1;
+  int plan_slot = -1;
+};
+
+/// One cached fused communication round (per distinct fired-member set):
+/// combined-message framing over the member plan slots' SegmentPrograms,
+/// plus pooled per-message payloads and a recycled mailbox skeleton —
+/// the group-level analogue of PlanSlot.
+struct FusedSlot {
+  std::vector<PendingCopy> members;
+  /// members[m]'s compiled programs (borrowed from its PlanSlot).
+  std::vector<const std::vector<redist::SegmentProgram>*> programs;
+  /// members[m]'s (source, destination) version storage. VersionStorage
+  /// objects are allocated once at machine construction, so the pointers
+  /// are stable for the whole run.
+  std::vector<std::pair<VersionStorage*, VersionStorage*>> endpoints;
+  redist::FusedExchange exchange;
+  std::vector<std::vector<double>> payload_pool;  ///< per message table entry
   std::vector<std::vector<net::Message>> mailbox_pool;
 };
 
@@ -152,9 +181,13 @@ class Machine {
     std::map<int, mapping::Extent> loop_trips;
     while (true) {
       const ir::CfgNode& n = analysis_.cfg.node(node);
-      if (n.kind != CfgKind::CallPost && parallel())
+      if (n.kind != CfgKind::CallPost && parallel()) {
         for (const auto& op : code_->at_node[static_cast<std::size_t>(node)])
           execute(op);
+        // The node's guard code is done: run its vertex's fused
+        // communication round before the node semantics read anything.
+        flush_pending();
+      }
 
       bool done = false;
       int next = n.succs.empty() ? -1 : n.succs[0];
@@ -236,9 +269,11 @@ class Machine {
         default:
           break;
       }
-      if (n.kind == CfgKind::CallPost && parallel())
+      if (n.kind == CfgKind::CallPost && parallel()) {
         for (const auto& op : code_->at_node[static_cast<std::size_t>(node)])
           execute(op);
+        flush_pending();
+      }
       if (done) break;
       HPFC_ASSERT_MSG(next >= 0, "control fell off the CFG");
       node = next;
@@ -318,6 +353,10 @@ class Machine {
                              static_cast<int>(v) == keep_version;
         const bool is_dummy_origin = program_.arrays[a].is_dummy && v == 0;
         if (is_current || is_keep || is_dummy_origin) continue;
+        // Versions referenced by a pending fused round are pinned: their
+        // data has not moved yet (a deferred source may no longer be the
+        // current status once its vertex's SetStatus has run).
+        if (pinned(static_cast<ArrayId>(a), static_cast<int>(v))) continue;
         victims.push_back({vs.bytes, {a, v}});
       }
     }
@@ -331,6 +370,12 @@ class Machine {
       deallocate(static_cast<ArrayId>(id.first), static_cast<int>(id.second));
       ++report_.evictions;
     }
+  }
+
+  [[nodiscard]] bool pinned(ArrayId a, int v) const {
+    for (const PendingCopy& m : pending_)
+      if (m.array == a && (m.src == v || m.dst == v)) return true;
+    return false;
   }
 
   // ---- generated code execution -----------------------------------------
@@ -365,7 +410,10 @@ class Machine {
         allocate(op.array, op.version);
         break;
       case OpKind::Copy:
-        copy(op.array, op.src_version, op.version, op.region, op.plan_slot);
+        if (op.copy_group >= 0 && !options_.unfuse_copy_groups)
+          defer_copy(op);
+        else
+          copy(op.array, op.src_version, op.version, op.region, op.plan_slot);
         break;
       case OpKind::SetLive:
         versions[static_cast<std::size_t>(op.version)].live = op.flag;
@@ -374,7 +422,13 @@ class Machine {
         status_[static_cast<std::size_t>(op.array)] = op.version;
         break;
       case OpKind::Free:
-        deallocate(op.array, op.version);
+        // While a fused round is pending, frees hold until after the
+        // flush (a member's source may be scheduled for cleanup by the
+        // very ops that follow its Copy); order is preserved.
+        if (pending_group_ >= 0)
+          deferred_frees_.push_back({op.array, op.version});
+        else
+          deallocate(op.array, op.version);
         break;
       case OpKind::SaveStatus:
         saved_[static_cast<std::size_t>(op.slot)] =
@@ -460,60 +514,26 @@ class Machine {
     }
   }
 
-  /// The remapping communication: redistribute src version into dst,
-  /// optionally restricted to a live region. Remote transfers pack into
-  /// pooled payload buffers and go through the exchange; src == dst
-  /// transfers run as direct strided local copies (no message is ever
-  /// materialized) unless RunOptions::force_message_path is set. The
-  /// NetStats are byte-identical either way: local copies are accounted
-  /// through Backend::account_local with the exact counters a
-  /// self-message would have produced.
-  void copy(ArrayId a, int src, int dst, const ir::Region& region,
-            int plan_slot) {
-    allocate(a, src);  // an untouched source is all zeros, like canonical
-    allocate(a, dst);
-    PlanSlot& slot = transfer_plan(a, src, dst, region, plan_slot);
-    const auto& programs = slot.programs;
-    const bool fast_local = !options_.force_message_path;
-
-    auto outboxes = std::move(slot.mailbox_pool);
+  /// The shared superstep skeleton of all remap communication (per-copy
+  /// and fused): recycled mailboxes and per-rank tallies around ONE
+  /// exchange. `pack_rank(r, outbox, tally)` emits rank r's messages
+  /// (payloads drawn from `payload_pool` by tag) and runs its local
+  /// fast-path copies; `unpack_msg(r, msg)` scatters one routed message.
+  /// Everything else — tally reduction, account_local, unpacked-element
+  /// accounting, payload reclamation by tag, mailbox-skeleton recycling —
+  /// lives here exactly once so the fused and unfused paths cannot drift
+  /// apart in their NetStats arithmetic.
+  template <typename PackRank, typename UnpackMsg>
+  void copy_superstep(std::vector<std::vector<double>>& payload_pool,
+                      std::vector<std::vector<net::Message>>& mailbox_pool,
+                      const PackRank& pack_rank, const UnpackMsg& unpack_msg) {
+    auto outboxes = std::move(mailbox_pool);
     outboxes.resize(static_cast<std::size_t>(backend_->ranks()));
     for (auto& box : outboxes) box.clear();
     std::fill(copy_tallies_.begin(), copy_tallies_.end(), CopyTally{});
-
-    auto& from = storage_[static_cast<std::size_t>(a)]
-                         [static_cast<std::size_t>(src)];
-    auto& to =
-        storage_[static_cast<std::size_t>(a)][static_cast<std::size_t>(dst)];
-    // Each source rank packs its own transfers, in program (tag) order so
-    // emission order — and with it the inbox order — is backend-invariant.
     backend_->step([&](int r) {
-      auto& outbox = outboxes[static_cast<std::size_t>(r)];
-      CopyTally& tally = copy_tallies_[static_cast<std::size_t>(r)];
-      for (std::size_t t = 0; t < programs.size(); ++t) {
-        const redist::SegmentProgram& tp = programs[t];
-        if (tp.src != r) continue;
-        if (fast_local && tp.dst == r) {
-          redist::copy_local(tp, from.locals[static_cast<std::size_t>(r)],
-                             to.locals[static_cast<std::size_t>(r)]);
-          tally.local_copies += 1;
-          tally.local_bytes +=
-              static_cast<std::uint64_t>(tp.elements) * sizeof(double);
-          tally.local_segments += tp.segments.size();
-          tally.local_elements += static_cast<std::uint64_t>(tp.elements);
-          continue;
-        }
-        net::Message msg;
-        msg.src = tp.src;
-        msg.dst = tp.dst;
-        msg.tag = static_cast<int>(t);
-        msg.segments = static_cast<int>(tp.segments.size());
-        msg.payload = std::move(slot.payload_pool[t]);
-        redist::pack(tp, from.locals[static_cast<std::size_t>(tp.src)],
-                     msg.payload);
-        tally.packed_bytes += msg.bytes();
-        outbox.push_back(std::move(msg));
-      }
+      pack_rank(r, outboxes[static_cast<std::size_t>(r)],
+                copy_tallies_[static_cast<std::size_t>(r)]);
     });
     std::uint64_t local_copies = 0;
     std::uint64_t local_bytes = 0;
@@ -533,10 +553,7 @@ class Machine {
     backend_->step([&](int r) {
       CopyTally& tally = copy_tallies_[static_cast<std::size_t>(r)];
       for (const auto& msg : inboxes[static_cast<std::size_t>(r)]) {
-        const redist::SegmentProgram& tp =
-            programs[static_cast<std::size_t>(msg.tag)];
-        redist::unpack(tp, msg.payload,
-                       to.locals[static_cast<std::size_t>(tp.dst)]);
+        unpack_msg(r, msg);
         tally.unpacked += msg.payload.size();
       }
     });
@@ -547,10 +564,74 @@ class Machine {
     // the next execution's outboxes.
     for (auto& inbox : inboxes)
       for (auto& msg : inbox)
-        slot.payload_pool[static_cast<std::size_t>(msg.tag)] =
+        payload_pool[static_cast<std::size_t>(msg.tag)] =
             std::move(msg.payload);
     for (auto& inbox : inboxes) inbox.clear();
-    slot.mailbox_pool = std::move(inboxes);
+    mailbox_pool = std::move(inboxes);
+  }
+
+  /// Books one executed local fast-path program into a rank's tally.
+  static void tally_local(CopyTally& tally,
+                          const redist::SegmentProgram& tp) {
+    tally.local_copies += 1;
+    tally.local_bytes +=
+        static_cast<std::uint64_t>(tp.elements) * sizeof(double);
+    tally.local_segments += tp.segments.size();
+    tally.local_elements += static_cast<std::uint64_t>(tp.elements);
+  }
+
+  /// The remapping communication: redistribute src version into dst,
+  /// optionally restricted to a live region. Remote transfers pack into
+  /// pooled payload buffers and go through the exchange; src == dst
+  /// transfers run as direct strided local copies (no message is ever
+  /// materialized) unless RunOptions::force_message_path is set. The
+  /// NetStats are byte-identical either way: local copies are accounted
+  /// through Backend::account_local with the exact counters a
+  /// self-message would have produced.
+  void copy(ArrayId a, int src, int dst, const ir::Region& region,
+            int plan_slot) {
+    allocate(a, src);  // an untouched source is all zeros, like canonical
+    allocate(a, dst);
+    PlanSlot& slot = transfer_plan(a, src, dst, region, plan_slot);
+    const auto& programs = slot.programs;
+    const bool fast_local = !options_.force_message_path;
+
+    auto& from = storage_[static_cast<std::size_t>(a)]
+                         [static_cast<std::size_t>(src)];
+    auto& to =
+        storage_[static_cast<std::size_t>(a)][static_cast<std::size_t>(dst)];
+    // Each source rank packs its own transfers, in program (tag) order so
+    // emission order — and with it the inbox order — is backend-invariant.
+    copy_superstep(
+        slot.payload_pool, slot.mailbox_pool,
+        [&](int r, std::vector<net::Message>& outbox, CopyTally& tally) {
+          for (std::size_t t = 0; t < programs.size(); ++t) {
+            const redist::SegmentProgram& tp = programs[t];
+            if (tp.src != r) continue;
+            if (fast_local && tp.dst == r) {
+              redist::copy_local(tp, from.locals[static_cast<std::size_t>(r)],
+                                 to.locals[static_cast<std::size_t>(r)]);
+              tally_local(tally, tp);
+              continue;
+            }
+            net::Message msg;
+            msg.src = tp.src;
+            msg.dst = tp.dst;
+            msg.tag = static_cast<int>(t);
+            msg.segments = static_cast<int>(tp.segments.size());
+            msg.payload = std::move(slot.payload_pool[t]);
+            redist::pack(tp, from.locals[static_cast<std::size_t>(tp.src)],
+                         msg.payload);
+            tally.packed_bytes += msg.bytes();
+            outbox.push_back(std::move(msg));
+          }
+        },
+        [&](int, const net::Message& msg) {
+          const redist::SegmentProgram& tp =
+              programs[static_cast<std::size_t>(msg.tag)];
+          redist::unpack(tp, msg.payload,
+                         to.locals[static_cast<std::size_t>(tp.dst)]);
+        });
     ++report_.copies_performed;
   }
 
@@ -586,6 +667,138 @@ class Machine {
     slot.payload_pool.resize(slot.programs.size());
     slot.compiled = true;
     return slot;
+  }
+
+  // ---- fused copy groups -------------------------------------------------
+
+  /// Records a group-member Copy while its vertex's guard code runs: the
+  /// endpoint storage is allocated (and pinned against eviction) and the
+  /// transfer program compiled, but the data movement is deferred so all
+  /// the copies the vertex fires share one exchange superstep.
+  void defer_copy(const codegen::Op& op) {
+    // Defensive: groups never interleave (one vertex per CFG node), but a
+    // group change mid-list must still flush the previous round first.
+    if (pending_group_ >= 0 && pending_group_ != op.copy_group)
+      flush_pending();
+    pending_group_ = op.copy_group;
+    pending_.push_back({op.array, op.src_version, op.version, op.plan_slot});
+    allocate(op.array, op.src_version);
+    allocate(op.array, op.version);
+    (void)transfer_plan(op.array, op.src_version, op.version, op.region,
+                        op.plan_slot);
+  }
+
+  /// Runs the pending vertex's fused communication round, then the frees
+  /// held while the round was open.
+  void flush_pending() {
+    if (pending_group_ < 0) return;
+    if (!pending_.empty()) run_fused();
+    pending_.clear();
+    pending_group_ = -1;
+    for (const auto& [a, v] : deferred_frees_) deallocate(a, v);
+    deferred_frees_.clear();
+  }
+
+  /// The cached fused round for the pending member set. Guards decide at
+  /// runtime which copies fire, so a group may flush with different member
+  /// subsets on different visits; each distinct plan-slot sequence gets
+  /// its own framing + pools (steady-state loops always hit the cache).
+  FusedSlot& fused_slot() {
+    key_scratch_.clear();
+    for (const PendingCopy& m : pending_) key_scratch_.push_back(m.plan_slot);
+    const auto [it, inserted] = fused_slots_.try_emplace(key_scratch_);
+    FusedSlot& slot = it->second;
+    if (!inserted) return slot;
+    slot.members = pending_;
+    slot.programs.reserve(pending_.size());
+    slot.endpoints.reserve(pending_.size());
+    std::vector<std::span<const redist::SegmentProgram>> spans;
+    spans.reserve(pending_.size());
+    for (const PendingCopy& m : pending_) {
+      const auto& programs =
+          plan_slots_[static_cast<std::size_t>(m.plan_slot)].programs;
+      slot.programs.push_back(&programs);
+      spans.emplace_back(programs);
+      slot.endpoints.push_back(
+          {&storage_[static_cast<std::size_t>(m.array)]
+                    [static_cast<std::size_t>(m.src)],
+           &storage_[static_cast<std::size_t>(m.array)]
+                    [static_cast<std::size_t>(m.dst)]});
+    }
+    slot.exchange = redist::build_fused_exchange(
+        backend_->ranks(), spans, options_.force_message_path);
+    slot.payload_pool.resize(slot.exchange.messages.size());
+    return slot;
+  }
+
+  /// The fused analogue of copy(): one pack step over combined messages,
+  /// ONE exchange for the whole member set, one unpack step by frame. The
+  /// local fast path and force_message_path behave per member program
+  /// exactly as in the unfused path, so every data-volume counter
+  /// (elements, bytes, segments, local copies) is byte-identical to
+  /// running the members one superstep each.
+  void run_fused() {
+    FusedSlot& slot = fused_slot();
+    const redist::FusedExchange& fx = slot.exchange;
+    const auto member_program =
+        [&slot](int member, int program) -> const redist::SegmentProgram& {
+      const auto& programs = *slot.programs[static_cast<std::size_t>(member)];
+      return programs[static_cast<std::size_t>(program)];
+    };
+
+    copy_superstep(
+        slot.payload_pool, slot.mailbox_pool,
+        [&](int r, std::vector<net::Message>& outbox, CopyTally& tally) {
+          for (const redist::FusedLocal& u :
+               fx.local_by_rank[static_cast<std::size_t>(r)]) {
+            const redist::SegmentProgram& tp =
+                member_program(u.member, u.program);
+            const auto& [from, to] =
+                slot.endpoints[static_cast<std::size_t>(u.member)];
+            redist::copy_local(tp, from->locals[static_cast<std::size_t>(r)],
+                               to->locals[static_cast<std::size_t>(r)]);
+            tally_local(tally, tp);
+          }
+          for (const int mi : fx.by_src[static_cast<std::size_t>(r)]) {
+            const redist::FusedMessage& fm =
+                fx.messages[static_cast<std::size_t>(mi)];
+            net::Message msg;
+            msg.src = fm.src;
+            msg.dst = fm.dst;
+            msg.tag = mi;
+            msg.segments = fm.segments;
+            msg.payload =
+                std::move(slot.payload_pool[static_cast<std::size_t>(mi)]);
+            msg.payload.resize(static_cast<std::size_t>(fm.elements));
+            for (const redist::FusedFrame& fr : fm.frames) {
+              const auto& [from, to] =
+                  slot.endpoints[static_cast<std::size_t>(fr.member)];
+              const std::span<double> window(
+                  msg.payload.data() + fr.offset,
+                  static_cast<std::size_t>(fr.len));
+              redist::pack_into(member_program(fr.member, fr.program),
+                                from->locals[static_cast<std::size_t>(r)],
+                                window);
+            }
+            tally.packed_bytes += msg.bytes();
+            outbox.push_back(std::move(msg));
+          }
+        },
+        [&](int r, const net::Message& msg) {
+          const redist::FusedMessage& fm =
+              fx.messages[static_cast<std::size_t>(msg.tag)];
+          for (const redist::FusedFrame& fr : fm.frames) {
+            const auto& [from, to] =
+                slot.endpoints[static_cast<std::size_t>(fr.member)];
+            const std::span<const double> window(
+                msg.payload.data() + fr.offset,
+                static_cast<std::size_t>(fr.len));
+            redist::unpack(member_program(fr.member, fr.program), window,
+                           to->locals[static_cast<std::size_t>(r)]);
+          }
+        });
+    report_.copies_performed += static_cast<int>(slot.members.size());
+    if (slot.members.size() >= 2) backend_->account_fused(slot.members.size());
   }
 
   /// Lazily compiles and caches the ownership program of (array, version):
@@ -813,6 +1026,15 @@ class Machine {
   /// Compiled transfer programs + pooled buffers per static copy site
   /// (codegen plan slot).
   std::vector<PlanSlot> plan_slots_;
+  /// Copy-group deferral state: the open round's id and members, the
+  /// frees held until its flush, and the cached fused rounds keyed by
+  /// fired plan-slot sequence (key_scratch_ avoids a per-flush rebuild
+  /// allocation on cache hits).
+  int pending_group_ = -1;
+  std::vector<PendingCopy> pending_;
+  std::vector<std::pair<ArrayId, int>> deferred_frees_;
+  std::map<std::vector<int>, FusedSlot> fused_slots_;
+  std::vector<int> key_scratch_;
   /// Pre-sized per-rank scratch (one slot per rank, reset per use) so the
   /// hot supersteps allocate nothing.
   std::vector<std::uint64_t> partials_;

@@ -5,6 +5,10 @@
 // and per-copy live flags; Copy ops run real redistribution communication
 // through an exec::Backend (the sequential BSP loop or the thread-per-rank
 // engine — both yield identical results, inbox order, and NetStats).
+// Copies sharing a codegen copy group (one remapping vertex) are deferred
+// and flushed as ONE fused exchange superstep with per-(src,dst) combined
+// messages (see redist/fused.hpp), unless RunOptions::unfuse_copy_groups
+// restores the historical one-superstep-per-copy behaviour.
 //
 // Execution is differential-testable: a sequential oracle executes the
 // same control-flow path against one canonical value array per abstract
@@ -50,6 +54,15 @@ struct RunOptions {
   /// differential tests assert it); only packed_bytes and
   /// local_fastpath_copies move. For tests and A/B measurements.
   bool force_message_path = false;
+  /// Disable cross-array message aggregation and run every Copy op as its
+  /// own exchange superstep, as the runtime did historically. Results and
+  /// the data-volume counters (elements, bytes, segments, checksums) are
+  /// identical either way; messages, supersteps, fused_copies and
+  /// sim_time move, and so may the memory accounting (peak_bytes,
+  /// evictions): a fused vertex holds — and pins against eviction — all
+  /// its members' endpoints until the shared flush. For tests and A/B
+  /// measurements.
+  bool unfuse_copy_groups = false;
 };
 
 struct RunReport {

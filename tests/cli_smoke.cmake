@@ -83,7 +83,7 @@ foreach(level O0 O1 O2)
   endif()
 endforeach()
 foreach(field copies_performed elements_copied messages bytes segments
-        packed_bytes local_fastpath_copies
+        supersteps fused_copies packed_bytes local_fastpath_copies
         skipped_already_mapped skipped_live_copy)
   if(NOT report MATCHES "\"${field}\": [0-9]+")
     message(FATAL_ERROR "cli_smoke: report JSON missing ${field}:\n${report}")
@@ -132,7 +132,7 @@ if(NOT thread_report MATCHES "\"backend\": \"thread\"")
     "cli_smoke: thread report JSON missing backend key:\n${thread_report}")
 endif()
 foreach(field copies_performed elements_copied messages bytes local_copies
-        segments packed_bytes local_fastpath_copies
+        segments supersteps fused_copies packed_bytes local_fastpath_copies
         skipped_already_mapped skipped_live_copy)
   string(REGEX MATCHALL "\"${field}\": [0-9]+" seq_counts "${report}")
   string(REGEX MATCHALL "\"${field}\": [0-9]+" thread_counts "${thread_report}")

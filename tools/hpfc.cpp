@@ -149,6 +149,8 @@ bool write_report_json(const Options& options,
         << ", \"bytes\": " << l.report.net.bytes
         << ", \"local_copies\": " << l.report.net.local_copies
         << ", \"segments\": " << l.report.net.segments
+        << ", \"supersteps\": " << l.report.net.supersteps
+        << ", \"fused_copies\": " << l.report.net.fused_copies
         << ", \"packed_bytes\": " << l.report.packed_bytes
         << ", \"local_fastpath_copies\": " << l.report.local_fastpath_copies
         << ", \"skipped_already_mapped\": "
