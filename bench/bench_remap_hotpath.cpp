@@ -65,47 +65,56 @@ int main(int argc, char** argv) {
     const hpfc::mapping::Extent trips = 6;
     const Compiled compiled = compile(fig16(n, procs, trips), OptLevel::O0);
 
+    // The `interpreted` legs re-run each backend through the interpreted
+    // segment walker (RunOptions::interpret_kernels): the A/B pair for the
+    // specialized pack/unpack kernels — every counter except the
+    // specialization pair must be identical, only exec_ms moves.
     for (const auto backend :
          {hpfc::exec::BackendKind::Seq, hpfc::exec::BackendKind::Thread}) {
-      hpfc::runtime::RunOptions options;
-      options.seed = harness.options().seed;
-      options.backend = backend;
-      options.threads = 8;
-      // Warm-up run outside the measured window; the oracle signature is
-      // the cross-check reference for every timed repetition.
-      const auto oracle = hpfc::driver::run_oracle(compiled, options);
-      (void)hpfc::driver::run(compiled, options);
+      for (const bool interpret : {false, true}) {
+        hpfc::runtime::RunOptions options;
+        options.seed = harness.options().seed;
+        options.backend = backend;
+        options.threads = 8;
+        options.interpret_kernels = interpret;
+        // Warm-up run outside the measured window; the oracle signature is
+        // the cross-check reference for every timed repetition.
+        const auto oracle = hpfc::driver::run_oracle(compiled, options);
+        (void)hpfc::driver::run(compiled, options);
 
-      RunReport report;
-      double best_exec_ms = 0.0;
-      unsigned long long best_allocs = 0;
-      const int reps = harness.options().reps;
-      for (int rep = 0; rep < reps; ++rep) {
-        const unsigned long long before = alloc_count();
-        report = hpfc::driver::run(compiled, options);
-        const unsigned long long allocs = alloc_count() - before;
-        if (report.signature != oracle.signature ||
-            !report.exported_values_ok) {
-          std::fprintf(stderr, "remap_hotpath diverged from the oracle\n");
-          std::abort();
+        RunReport report;
+        double best_exec_ms = 0.0;
+        unsigned long long best_allocs = 0;
+        const int reps = harness.options().reps;
+        for (int rep = 0; rep < reps; ++rep) {
+          const unsigned long long before = alloc_count();
+          report = hpfc::driver::run(compiled, options);
+          const unsigned long long allocs = alloc_count() - before;
+          if (report.signature != oracle.signature ||
+              !report.exported_values_ok) {
+            std::fprintf(stderr, "remap_hotpath diverged from the oracle\n");
+            std::abort();
+          }
+          if (rep == 0 || report.exec_ms < best_exec_ms)
+            best_exec_ms = report.exec_ms;
+          if (rep == 0 || allocs < best_allocs) best_allocs = allocs;
         }
-        if (rep == 0 || report.exec_ms < best_exec_ms)
-          best_exec_ms = report.exec_ms;
-        if (rep == 0 || allocs < best_allocs) best_allocs = allocs;
-      }
 
-      LevelMetrics metrics = metrics_from("O0", report);
-      metrics.exec_ms = best_exec_ms;
-      metrics.host_allocs = best_allocs;
-      const std::string config = std::string("P=8 n=1048576 trips=6 ") +
-                                 hpfc::exec::to_string(backend);
-      row(config, metrics);
-      note(config + ": exec_ms=" + std::to_string(best_exec_ms) +
-           " host_allocs=" + std::to_string(best_allocs) +
-           " local_fastpath_copies=" +
-           std::to_string(report.local_fastpath_copies) +
-           " packed_bytes=" + std::to_string(report.packed_bytes));
-      harness.record_metrics("remap_hotpath", config, std::move(metrics));
+        LevelMetrics metrics = metrics_from("O0", report);
+        metrics.exec_ms = best_exec_ms;
+        metrics.host_allocs = best_allocs;
+        const std::string config = std::string("P=8 n=1048576 trips=6 ") +
+                                   hpfc::exec::to_string(backend) +
+                                   (interpret ? " interpreted" : "");
+        row(config, metrics);
+        note(config + ": exec_ms=" + std::to_string(best_exec_ms) +
+             " host_allocs=" + std::to_string(best_allocs) +
+             " local_fastpath_copies=" +
+             std::to_string(report.local_fastpath_copies) +
+             " specialized_dispatches=" +
+             std::to_string(metrics.specialized_dispatches));
+        harness.record_metrics("remap_hotpath", config, std::move(metrics));
+      }
     }
 
     // Cross-array aggregation: one remap vertex moving 4 arrays at once.
@@ -155,6 +164,35 @@ int main(int argc, char** argv) {
              " sim_time_ms=" + std::to_string(metrics.sim_time_ms));
         harness.record_metrics("remap_hotpath", config, std::move(metrics));
       }
+    }
+
+    // The fused path's interpreted A/B leg (seq, aggregation on): the
+    // combined-message framing must produce identical payloads whether
+    // each frame packs through a specialized kernel or the walker.
+    {
+      hpfc::runtime::RunOptions options = multi_options;
+      options.interpret_kernels = true;
+      (void)hpfc::driver::run(multi, options);
+      RunReport report = hpfc::driver::run(multi, options);
+      double best_exec_ms = report.exec_ms;
+      for (int rep = 1; rep < harness.options().reps; ++rep) {
+        report = hpfc::driver::run(multi, options);
+        if (report.exec_ms < best_exec_ms) best_exec_ms = report.exec_ms;
+      }
+      if (report.signature != oracle.signature ||
+          !report.exported_values_ok) {
+        std::fprintf(stderr, "remap_hotpath multi diverged from oracle\n");
+        std::abort();
+      }
+      LevelMetrics metrics = metrics_from("O0", report);
+      metrics.exec_ms = best_exec_ms;
+      const std::string config =
+          "P=8 n=262144 arrays=4 trips=6 fused seq interpreted";
+      row(config, metrics);
+      note(config + ": exec_ms=" + std::to_string(best_exec_ms) +
+           " specialized_kernels=" +
+           std::to_string(metrics.specialized_kernels));
+      harness.record_metrics("remap_hotpath", config, std::move(metrics));
     }
   });
 }

@@ -125,6 +125,8 @@ LevelMetrics metrics_from(const std::string& level, const RunReport& report,
   metrics.local_fastpath_copies = report.local_fastpath_copies;
   metrics.supersteps = report.net.supersteps;
   metrics.fused_copies = report.net.fused_copies;
+  metrics.specialized_kernels = report.net.specialized_kernels;
+  metrics.specialized_dispatches = report.net.specialized_dispatches;
   metrics.skipped_status_guard = report.skipped_already_mapped;
   metrics.skipped_live_copy = report.skipped_live_copy;
   metrics.sim_time_ms = report.net.sim_time * 1e3;
@@ -167,6 +169,8 @@ HarnessOptions HarnessOptions::parse(int& argc, char** argv) {
       options.backend = *kind;
     } else if (arg.rfind("--threads=", 0) == 0) {
       options.threads = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--interpret-kernels") {
+      options.interpret_kernels = true;
     } else if (arg == "--no-gbench") {
       options.run_google_benchmarks = false;
     } else {
@@ -194,6 +198,7 @@ hpfc::runtime::RunOptions Harness::run_options(unsigned seed) const {
   run_options.seed = seed == 0 ? options_.seed : seed;
   run_options.backend = options_.backend;
   run_options.threads = options_.threads;
+  run_options.interpret_kernels = options_.interpret_kernels;
   return run_options;
 }
 
@@ -312,6 +317,8 @@ bool Harness::write_json() const {
          << ", \"local_fastpath_copies\": " << m.local_fastpath_copies
          << ", \"supersteps\": " << m.supersteps
          << ", \"fused_copies\": " << m.fused_copies
+         << ", \"specialized_kernels\": " << m.specialized_kernels
+         << ", \"specialized_dispatches\": " << m.specialized_dispatches
          << ", \"host_allocs\": " << m.host_allocs
          << ", \"skipped_status_guard\": " << m.skipped_status_guard
          << ", \"skipped_live_copy\": " << m.skipped_live_copy

@@ -64,6 +64,14 @@ struct LevelMetrics {
   /// other copy (cross-array message aggregation); 0 when every remap
   /// vertex moves a single array or fusion is disabled.
   std::uint64_t fused_copies = 0;
+  /// Specialized pack/unpack kernels installed by the plan cache (one per
+  /// SegmentProgram at compile; 0 under --interpret-kernels).
+  std::uint64_t specialized_kernels = 0;
+  /// Transfers dispatched through a specialized kernel instead of the
+  /// interpreted segment walker, counted once per transfer at the
+  /// producing site — invariant across backends and the fast-path /
+  /// fusion toggles.
+  std::uint64_t specialized_dispatches = 0;
   /// Host heap allocations during the measured run (0 when the bench does
   /// not count them; only bespoke benches overriding operator new fill it).
   std::uint64_t host_allocs = 0;
@@ -103,6 +111,9 @@ struct FigureRecord {
 ///   --seed=N      branch-decision seed for the simulated runs (default 7)
 ///   --backend=seq|thread  execution backend for the simulated runs
 ///   --threads=N   worker threads for --backend=thread (0 = auto)
+///   --interpret-kernels  run transfers through the interpreted segment
+///                 walker instead of the specialized kernels (the A/B
+///                 oracle toggle; see docs/kernels.md)
 ///   --no-gbench   skip the Google Benchmark micro-benchmarks
 struct HarnessOptions {
   int reps = 3;
@@ -110,6 +121,7 @@ struct HarnessOptions {
   unsigned seed = 7;
   hpfc::exec::BackendKind backend = hpfc::exec::BackendKind::Seq;
   int threads = 0;
+  bool interpret_kernels = false;
   std::string json_path;
   bool run_google_benchmarks = true;
 

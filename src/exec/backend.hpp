@@ -122,6 +122,23 @@ class Backend {
   /// exchange that carried the fused messages.
   void account_fused(std::uint64_t copies) { stats_.fused_copies += copies; }
 
+  /// Accounts kernel-specialization events from the runtime's plan cache
+  /// (see docs/kernels.md): `kernels` specialized pack/unpack kernels
+  /// installed (once per SegmentProgram when a plan slot compiles; rising
+  /// again after an evicted slot recompiles) and `dispatches` transfers
+  /// executed through an installed kernel instead of the interpreted
+  /// SegmentProgram walker.  Dispatches are counted once per transfer at
+  /// the producing site — the pack or local-copy step; the matching
+  /// unpack is not re-counted — so the counter is invariant across
+  /// force_message_path, unfuse_copy_groups and the execution backends.
+  /// Purely counters (no clock): call from the controlling thread between
+  /// steps, after reducing the per-rank tallies.
+  void account_specialization(std::uint64_t kernels,
+                              std::uint64_t dispatches) {
+    stats_.specialized_kernels += kernels;
+    stats_.specialized_dispatches += dispatches;
+  }
+
  protected:
   int ranks_;
   net::CostModel cost_;

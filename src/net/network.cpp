@@ -16,6 +16,8 @@ NetStats& NetStats::operator+=(const NetStats& other) {
   segments += other.segments;
   supersteps += other.supersteps;
   fused_copies += other.fused_copies;
+  specialized_kernels += other.specialized_kernels;
+  specialized_dispatches += other.specialized_dispatches;
   sim_time += other.sim_time;
   return *this;
 }
@@ -28,6 +30,8 @@ NetStats operator-(NetStats a, const NetStats& b) {
   a.segments -= b.segments;
   a.supersteps -= b.supersteps;
   a.fused_copies -= b.fused_copies;
+  a.specialized_kernels -= b.specialized_kernels;
+  a.specialized_dispatches -= b.specialized_dispatches;
   a.sim_time -= b.sim_time;
   return a;
 }
@@ -37,7 +41,8 @@ std::string NetStats::summary() const {
   os << messages << " msgs, " << format_bytes(bytes) << ", "
      << local_copies << " local copies (" << format_bytes(local_bytes)
      << "), " << segments << " segs, " << supersteps << " steps, "
-     << fused_copies << " fused, " << sim_time * 1e3 << " ms";
+     << fused_copies << " fused, " << specialized_dispatches << " spec, "
+     << sim_time * 1e3 << " ms";
   return os.str();
 }
 

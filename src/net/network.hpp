@@ -36,6 +36,16 @@ struct NetStats {
   /// alpha-term savings counter — it stays 0 when every copy runs its own
   /// superstep.
   std::uint64_t fused_copies = 0;
+  /// Specialized pack/unpack kernels installed by the runtime's plan
+  /// cache (one per SegmentProgram when a plan slot compiles; rises again
+  /// when an evicted slot recompiles — see docs/kernels.md). Stays 0
+  /// under RunOptions::interpret_kernels.
+  std::uint64_t specialized_kernels = 0;
+  /// Transfers executed through a specialized kernel instead of the
+  /// interpreted SegmentProgram walker, counted once per transfer at the
+  /// producing site (pack or local copy), so the count is invariant
+  /// across the fast-path / fusion toggles and the execution backends.
+  std::uint64_t specialized_dispatches = 0;
   double sim_time = 0.0;  ///< seconds under the cost model
 
   NetStats& operator+=(const NetStats& other);

@@ -10,6 +10,14 @@
 // stretch is one CopySegment; a segment with both strides 1 is a plain
 // contiguous copy. The program size is O(segments), never O(elements):
 // per-element indices are never materialized or cached.
+//
+// The pack/unpack/copy_local walkers below interpret a SegmentProgram
+// segment by segment. On the runtime's hot path they are superseded by
+// the specialized kernels of redist/kernelgen.hpp (redist::specialize
+// lowers a program to precompiled constant-stride fragments), but they
+// remain authoritative: a kernel must reproduce their results byte for
+// byte, and RunOptions::interpret_kernels routes every transfer back
+// through them as the differential oracle (see docs/kernels.md).
 #pragma once
 
 #include <cstdint>

@@ -10,6 +10,7 @@
 #include "exec/backend.hpp"
 #include "redist/commsets.hpp"
 #include "redist/fused.hpp"
+#include "redist/kernelgen.hpp"
 #include "redist/segments.hpp"
 #include "support/check.hpp"
 #include "support/strings.hpp"
@@ -67,11 +68,18 @@ struct OwnershipProgram {
 struct PlanSlot {
   bool compiled = false;
   std::vector<redist::SegmentProgram> programs;
+  /// Specialized pack/unpack kernels, one per program (same indexing),
+  /// installed at compile time unless RunOptions::interpret_kernels; the
+  /// vector never reallocates afterwards, so FusedSlot may point into it.
+  std::vector<redist::Kernel> kernels;
   /// Payload buffer per program (tag); moved into the message on pack and
   /// reclaimed from the inbox after unpack.
   std::vector<std::vector<double>> payload_pool;
   /// Recycled outbox/inbox skeleton (outer and inner vector capacities).
   std::vector<std::vector<net::Message>> mailbox_pool;
+  /// Heap footprint of the compiled programs + kernels, charged against
+  /// the memory limit (plan slots are evictable like array copies).
+  std::uint64_t plan_bytes = 0;
 };
 
 /// One Copy op recorded while its vertex's guard code runs: the data
@@ -93,6 +101,11 @@ struct FusedSlot {
   std::vector<PendingCopy> members;
   /// members[m]'s compiled programs (borrowed from its PlanSlot).
   std::vector<const std::vector<redist::SegmentProgram>*> programs;
+  /// members[m]'s specialized kernels (borrowed from its PlanSlot; the
+  /// pointed-to vector is empty under RunOptions::interpret_kernels).
+  /// Cached fused slots are invalidated whenever a member plan slot is
+  /// evicted, so these pointers never dangle.
+  std::vector<const std::vector<redist::Kernel>*> kernels;
   /// members[m]'s (source, destination) version storage. VersionStorage
   /// objects are allocated once at machine construction, so the pointers
   /// are stable for the whole run.
@@ -111,6 +124,9 @@ struct CopyTally {
   std::uint64_t local_elements = 0;
   std::uint64_t packed_bytes = 0;
   std::uint64_t unpacked = 0;
+  /// Transfers this rank executed through a specialized kernel at the
+  /// producing site (pack or local copy; unpacks are not re-counted).
+  std::uint64_t specialized = 0;
 
   friend bool operator==(const CopyTally&, const CopyTally&) = default;
 };
@@ -370,12 +386,74 @@ class Machine {
       deallocate(static_cast<ArrayId>(id.first), static_cast<int>(id.second));
       ++report_.evictions;
     }
+    // Storage eviction alone may not reach the budget (everything left is
+    // current, pinned, or a dummy origin): fall back to dropping compiled
+    // plan slots, which recompile — and re-specialize — lazily on their
+    // next Copy.
+    if (bytes_in_use_ > options_.memory_limit) evict_plan_slots(-1);
   }
 
   [[nodiscard]] bool pinned(ArrayId a, int v) const {
     for (const PendingCopy& m : pending_)
       if (m.array == a && (m.src == v || m.dst == v)) return true;
     return false;
+  }
+
+  /// Second-phase eviction (the plan-cache analogue of §5.2): drops
+  /// compiled plan slots — segment programs, specialized kernels, pooled
+  /// buffers — largest first until the budget fits. An evicted slot is
+  /// recompiled on its next use, so specialized_kernels rises while every
+  /// data-volume counter stays put.
+  void evict_plan_slots(int keep_slot) {
+    std::vector<std::pair<std::uint64_t, std::size_t>> victims;
+    for (std::size_t s = 0; s < plan_slots_.size(); ++s) {
+      const PlanSlot& slot = plan_slots_[s];
+      if (!slot.compiled || slot.plan_bytes == 0) continue;
+      if (static_cast<int>(s) == keep_slot) continue;
+      if (plan_pinned(static_cast<int>(s))) continue;
+      victims.push_back({slot.plan_bytes, s});
+    }
+    std::sort(victims.begin(), victims.end(),
+              [](const auto& x, const auto& y) {
+                if (x.first != y.first) return x.first > y.first;
+                return x.second < y.second;  // deterministic tie-break
+              });
+    for (const auto& [bytes, s] : victims) {
+      if (bytes_in_use_ <= options_.memory_limit) break;
+      drop_plan_slot(s);
+    }
+  }
+
+  /// A plan slot referenced by the open fused round must survive until its
+  /// flush: pending_ members' compiled programs are already borrowed by
+  /// the round being assembled.
+  [[nodiscard]] bool plan_pinned(int slot) const {
+    for (const PendingCopy& m : pending_)
+      if (m.plan_slot == slot) return true;
+    return false;
+  }
+
+  void drop_plan_slot(std::size_t s) {
+    bytes_in_use_ -= plan_slots_[s].plan_bytes;
+    plan_slots_[s] = PlanSlot{};
+    // Cached fused rounds borrow pointers into their member plan slots'
+    // programs and kernels; invalidate every round that references this
+    // slot so the pointers can never dangle.
+    std::erase_if(fused_slots_, [&](const auto& kv) {
+      return std::find(kv.first.begin(), kv.first.end(),
+                       static_cast<int>(s)) != kv.first.end();
+    });
+    ++report_.plan_evictions;
+  }
+
+  /// Heap footprint of a compiled slot's patched tables: the interpreted
+  /// segment list plus (when installed) the specialized kernels.
+  static std::uint64_t plan_slot_bytes(const PlanSlot& slot) {
+    std::uint64_t bytes = 0;
+    for (const auto& tp : slot.programs)
+      bytes += tp.segments.capacity() * sizeof(redist::CopySegment);
+    for (const auto& kernel : slot.kernels) bytes += kernel.footprint_bytes();
+    return bytes;
   }
 
   // ---- generated code execution -----------------------------------------
@@ -538,14 +616,17 @@ class Machine {
     std::uint64_t local_copies = 0;
     std::uint64_t local_bytes = 0;
     std::uint64_t local_segments = 0;
+    std::uint64_t specialized = 0;
     for (const CopyTally& tally : copy_tallies_) {
       local_copies += tally.local_copies;
       local_bytes += tally.local_bytes;
       local_segments += tally.local_segments;
+      specialized += tally.specialized;
       report_.elements_copied += tally.local_elements;
       report_.packed_bytes += tally.packed_bytes;
     }
     backend_->account_local(local_copies, local_bytes, local_segments);
+    if (specialized != 0) backend_->account_specialization(0, specialized);
     report_.local_fastpath_copies += local_copies;
 
     auto inboxes = backend_->exchange(std::move(outboxes));
@@ -594,6 +675,10 @@ class Machine {
     allocate(a, dst);
     PlanSlot& slot = transfer_plan(a, src, dst, region, plan_slot);
     const auto& programs = slot.programs;
+    const auto& kernels = slot.kernels;
+    // Empty under RunOptions::interpret_kernels: fall back to the
+    // interpreted segment walker (the differential oracle of the kernels).
+    const bool use_kernels = !kernels.empty();
     const bool fast_local = !options_.force_message_path;
 
     auto& from = storage_[static_cast<std::size_t>(a)]
@@ -609,8 +694,14 @@ class Machine {
             const redist::SegmentProgram& tp = programs[t];
             if (tp.src != r) continue;
             if (fast_local && tp.dst == r) {
-              redist::copy_local(tp, from.locals[static_cast<std::size_t>(r)],
-                                 to.locals[static_cast<std::size_t>(r)]);
+              if (use_kernels) {
+                kernels[t].copy(from.locals[static_cast<std::size_t>(r)],
+                                to.locals[static_cast<std::size_t>(r)]);
+                ++tally.specialized;
+              } else {
+                redist::copy_local(tp, from.locals[static_cast<std::size_t>(r)],
+                                   to.locals[static_cast<std::size_t>(r)]);
+              }
               tally_local(tally, tp);
               continue;
             }
@@ -620,8 +711,15 @@ class Machine {
             msg.tag = static_cast<int>(t);
             msg.segments = static_cast<int>(tp.segments.size());
             msg.payload = std::move(slot.payload_pool[t]);
-            redist::pack(tp, from.locals[static_cast<std::size_t>(tp.src)],
-                         msg.payload);
+            if (use_kernels) {
+              msg.payload.resize(static_cast<std::size_t>(tp.elements));
+              kernels[t].pack(from.locals[static_cast<std::size_t>(tp.src)],
+                              msg.payload);
+              ++tally.specialized;
+            } else {
+              redist::pack(tp, from.locals[static_cast<std::size_t>(tp.src)],
+                           msg.payload);
+            }
             tally.packed_bytes += msg.bytes();
             outbox.push_back(std::move(msg));
           }
@@ -629,8 +727,14 @@ class Machine {
         [&](int, const net::Message& msg) {
           const redist::SegmentProgram& tp =
               programs[static_cast<std::size_t>(msg.tag)];
-          redist::unpack(tp, msg.payload,
-                         to.locals[static_cast<std::size_t>(tp.dst)]);
+          // Unpacks are not re-counted in tally.specialized: a transfer's
+          // dispatch is booked once, at the producing site.
+          if (use_kernels)
+            kernels[static_cast<std::size_t>(msg.tag)].unpack(
+                msg.payload, to.locals[static_cast<std::size_t>(tp.dst)]);
+          else
+            redist::unpack(tp, msg.payload,
+                           to.locals[static_cast<std::size_t>(tp.dst)]);
         });
     ++report_.copies_performed;
   }
@@ -665,7 +769,25 @@ class Machine {
           redist::compile_transfer(transfer, sit->second, dit->second));
     }
     slot.payload_pool.resize(slot.programs.size());
+    // Specialize each compiled program into a pack/unpack kernel unless
+    // the A/B toggle keeps the interpreter (the kernels' differential
+    // oracle) in charge. Installed once per compile; an evicted slot
+    // re-installs on recompilation, so specialized_kernels counts both.
+    if (!options_.interpret_kernels) {
+      slot.kernels.reserve(slot.programs.size());
+      for (const auto& tp : slot.programs)
+        slot.kernels.push_back(redist::specialize(tp));
+      backend_->account_specialization(slot.kernels.size(), 0);
+    }
     slot.compiled = true;
+    // The compiled tables are memory like any copy: charge them against
+    // the budget and fall back to evicting *other* plan slots when the
+    // arrays alone no longer leave room.
+    slot.plan_bytes = plan_slot_bytes(slot);
+    bytes_in_use_ += slot.plan_bytes;
+    if (options_.memory_limit != 0 && bytes_in_use_ > options_.memory_limit)
+      evict_plan_slots(plan_slot);
+    report_.peak_bytes = std::max(report_.peak_bytes, bytes_in_use_);
     return slot;
   }
 
@@ -714,10 +836,12 @@ class Machine {
     slot.endpoints.reserve(pending_.size());
     std::vector<std::span<const redist::SegmentProgram>> spans;
     spans.reserve(pending_.size());
+    slot.kernels.reserve(pending_.size());
     for (const PendingCopy& m : pending_) {
-      const auto& programs =
-          plan_slots_[static_cast<std::size_t>(m.plan_slot)].programs;
+      const PlanSlot& plan = plan_slots_[static_cast<std::size_t>(m.plan_slot)];
+      const auto& programs = plan.programs;
       slot.programs.push_back(&programs);
+      slot.kernels.push_back(&plan.kernels);
       spans.emplace_back(programs);
       slot.endpoints.push_back(
           {&storage_[static_cast<std::size_t>(m.array)]
@@ -745,6 +869,14 @@ class Machine {
       const auto& programs = *slot.programs[static_cast<std::size_t>(member)];
       return programs[static_cast<std::size_t>(program)];
     };
+    // nullptr when the member's plan slot carries no kernels (the
+    // interpret_kernels toggle): the caller falls back to the walker.
+    const auto member_kernel =
+        [&slot](int member, int program) -> const redist::Kernel* {
+      const auto& kernels = *slot.kernels[static_cast<std::size_t>(member)];
+      if (kernels.empty()) return nullptr;
+      return &kernels[static_cast<std::size_t>(program)];
+    };
 
     copy_superstep(
         slot.payload_pool, slot.mailbox_pool,
@@ -755,8 +887,14 @@ class Machine {
                 member_program(u.member, u.program);
             const auto& [from, to] =
                 slot.endpoints[static_cast<std::size_t>(u.member)];
-            redist::copy_local(tp, from->locals[static_cast<std::size_t>(r)],
-                               to->locals[static_cast<std::size_t>(r)]);
+            if (const redist::Kernel* k = member_kernel(u.member, u.program)) {
+              k->copy(from->locals[static_cast<std::size_t>(r)],
+                      to->locals[static_cast<std::size_t>(r)]);
+              ++tally.specialized;
+            } else {
+              redist::copy_local(tp, from->locals[static_cast<std::size_t>(r)],
+                                 to->locals[static_cast<std::size_t>(r)]);
+            }
             tally_local(tally, tp);
           }
           for (const int mi : fx.by_src[static_cast<std::size_t>(r)]) {
@@ -776,9 +914,15 @@ class Machine {
               const std::span<double> window(
                   msg.payload.data() + fr.offset,
                   static_cast<std::size_t>(fr.len));
-              redist::pack_into(member_program(fr.member, fr.program),
-                                from->locals[static_cast<std::size_t>(r)],
-                                window);
+              if (const redist::Kernel* k =
+                      member_kernel(fr.member, fr.program)) {
+                k->pack(from->locals[static_cast<std::size_t>(r)], window);
+                ++tally.specialized;
+              } else {
+                redist::pack_into(member_program(fr.member, fr.program),
+                                  from->locals[static_cast<std::size_t>(r)],
+                                  window);
+              }
             }
             tally.packed_bytes += msg.bytes();
             outbox.push_back(std::move(msg));
@@ -793,8 +937,11 @@ class Machine {
             const std::span<const double> window(
                 msg.payload.data() + fr.offset,
                 static_cast<std::size_t>(fr.len));
-            redist::unpack(member_program(fr.member, fr.program), window,
-                           to->locals[static_cast<std::size_t>(r)]);
+            if (const redist::Kernel* k = member_kernel(fr.member, fr.program))
+              k->unpack(window, to->locals[static_cast<std::size_t>(r)]);
+            else
+              redist::unpack(member_program(fr.member, fr.program), window,
+                             to->locals[static_cast<std::size_t>(r)]);
           }
         });
     report_.copies_performed += static_cast<int>(slot.members.size());

@@ -63,6 +63,15 @@ struct RunOptions {
   /// its members' endpoints until the shared flush. For tests and A/B
   /// measurements.
   bool unfuse_copy_groups = false;
+  /// Disable the specialized pack/unpack kernels and execute every
+  /// transfer through the interpreted SegmentProgram walker, as the
+  /// runtime did historically. Results and every NetStats counter except
+  /// specialized_kernels / specialized_dispatches are byte-identical
+  /// either way (the differential tests and `check_bench_regression
+  /// --identical` assert it); only exec_ms moves. The interpreter is the
+  /// differential oracle of the kernel layer — see docs/kernels.md. For
+  /// tests and A/B measurements.
+  bool interpret_kernels = false;
 };
 
 struct RunReport {
@@ -81,6 +90,11 @@ struct RunReport {
   int allocations = 0;
   int frees = 0;
   int evictions = 0;
+  /// Compiled plan slots (segment programs + specialized kernels) dropped
+  /// under memory pressure after storage eviction alone could not satisfy
+  /// the limit; each one is re-compiled — and re-specialized — on its
+  /// next use.
+  int plan_evictions = 0;
   std::uint64_t peak_bytes = 0;
   /// Payload bytes actually materialized into message buffers while
   /// packing (remote transfers only when the local fast path is active;

@@ -83,12 +83,19 @@ foreach(level O0 O1 O2)
   endif()
 endforeach()
 foreach(field copies_performed elements_copied messages bytes segments
-        supersteps fused_copies packed_bytes local_fastpath_copies
+        supersteps fused_copies specialized_kernels specialized_dispatches
+        plan_evictions packed_bytes local_fastpath_copies
         skipped_already_mapped skipped_live_copy)
   if(NOT report MATCHES "\"${field}\": [0-9]+")
     message(FATAL_ERROR "cli_smoke: report JSON missing ${field}:\n${report}")
   endif()
 endforeach()
+# The default path runs through specialized kernels: every executed level
+# installs at least one and dispatches through it.
+if(report MATCHES "\"specialized_kernels\": 0[,}]")
+  message(FATAL_ERROR
+    "cli_smoke: default run installed no specialized kernels:\n${report}")
+endif()
 if(report MATCHES "\"oracle_match\": false")
   message(FATAL_ERROR "cli_smoke: report JSON records an oracle mismatch:\n${report}")
 endif()
@@ -132,8 +139,9 @@ if(NOT thread_report MATCHES "\"backend\": \"thread\"")
     "cli_smoke: thread report JSON missing backend key:\n${thread_report}")
 endif()
 foreach(field copies_performed elements_copied messages bytes local_copies
-        segments supersteps fused_copies packed_bytes local_fastpath_copies
-        skipped_already_mapped skipped_live_copy)
+        segments supersteps fused_copies specialized_kernels
+        specialized_dispatches plan_evictions packed_bytes
+        local_fastpath_copies skipped_already_mapped skipped_live_copy)
   string(REGEX MATCHALL "\"${field}\": [0-9]+" seq_counts "${report}")
   string(REGEX MATCHALL "\"${field}\": [0-9]+" thread_counts "${thread_report}")
   if(NOT seq_counts STREQUAL thread_counts)
@@ -143,6 +151,43 @@ foreach(field copies_performed elements_copied messages bytes local_copies
   endif()
 endforeach()
 
+# The interpreted segment walker (--interpret-kernels) is the kernels'
+# differential oracle: every counter except the specialization pair must
+# match the default run exactly, and specialized_kernels must read 0.
+set(interp_report_json "${_bin_dir}/cli_smoke_report_interp.json")
+file(REMOVE "${interp_report_json}")
+execute_process(
+  COMMAND "${HPFC_BIN}" "${HPFC_SOURCE_DIR}/examples/quickstart.hpf"
+          --run --compare --interpret-kernels
+          --report-json=${interp_report_json}
+  OUTPUT_VARIABLE interp_out
+  ERROR_VARIABLE interp_err
+  RESULT_VARIABLE interp_status)
+if(NOT interp_status EQUAL 0)
+  message(FATAL_ERROR "cli_smoke: hpfc --interpret-kernels exited with "
+    "${interp_status}\nstdout:\n${interp_out}\nstderr:\n${interp_err}")
+endif()
+if(interp_out MATCHES "MISMATCH")
+  message(FATAL_ERROR
+    "cli_smoke: interpreted path diverged from the oracle:\n${interp_out}")
+endif()
+file(READ "${interp_report_json}" interp_report)
+if(NOT interp_report MATCHES "\"specialized_kernels\": 0[,}]")
+  message(FATAL_ERROR
+    "cli_smoke: --interpret-kernels still installed kernels:\n${interp_report}")
+endif()
+foreach(field copies_performed elements_copied messages bytes local_copies
+        segments supersteps fused_copies plan_evictions packed_bytes
+        local_fastpath_copies skipped_already_mapped skipped_live_copy)
+  string(REGEX MATCHALL "\"${field}\": [0-9]+" seq_counts "${report}")
+  string(REGEX MATCHALL "\"${field}\": [0-9]+" interp_counts "${interp_report}")
+  if(NOT seq_counts STREQUAL interp_counts)
+    message(FATAL_ERROR
+      "cli_smoke: ${field} differs across the kernel toggle\n"
+      "specialized: ${seq_counts}\ninterpreted: ${interp_counts}")
+  endif()
+endforeach()
+
 message(STATUS
   "cli_smoke: OK (O0 copied ${o0_elems} elems, O2 copied ${o2_elems}, "
-  "seq and thread backends agree, report at ${report_json})")
+  "seq/thread backends and the kernel toggle agree, report at ${report_json})")

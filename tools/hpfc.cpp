@@ -13,6 +13,9 @@
 //   --ranks=N           machine size (default: largest arrangement)
 //   --backend=seq|thread  execution backend for --run/--compare
 //   --threads=N         worker threads for --backend=thread (0 = auto)
+//   --interpret-kernels run transfers through the interpreted segment
+//                       walker instead of the specialized kernels (the
+//                       A/B oracle toggle; see docs/kernels.md)
 //   --validate          run the Theorem 1 validator
 //   --report-json=PATH  dump the per-level RunReport counters as JSON
 #include <fstream>
@@ -42,6 +45,7 @@ struct Options {
   int ranks = 0;
   hpfc::exec::BackendKind backend = hpfc::exec::BackendKind::Seq;
   int threads = 0;
+  bool interpret_kernels = false;
   std::string report_json;
 };
 
@@ -59,7 +63,8 @@ int usage() {
          "            [--run] [--compare] [--seed=N] [--ranks=N]"
          " [--validate]\n"
          "            [--backend=seq|thread] [--threads=N]"
-         " [--report-json=PATH]\n";
+         " [--interpret-kernels]\n"
+         "            [--report-json=PATH]\n";
   return 2;
 }
 
@@ -73,6 +78,7 @@ bool parse_args(int argc, char** argv, Options& options) {
     else if (arg == "--run") options.run = true;
     else if (arg == "--compare") options.compare = true;
     else if (arg == "--validate") options.validate = true;
+    else if (arg == "--interpret-kernels") options.interpret_kernels = true;
     else if (arg.rfind("--opt=", 0) == 0) {
       const std::string level = arg.substr(6);
       if (level == "O0") options.level = driver::OptLevel::O0;
@@ -151,6 +157,10 @@ bool write_report_json(const Options& options,
         << ", \"segments\": " << l.report.net.segments
         << ", \"supersteps\": " << l.report.net.supersteps
         << ", \"fused_copies\": " << l.report.net.fused_copies
+        << ", \"specialized_kernels\": " << l.report.net.specialized_kernels
+        << ", \"specialized_dispatches\": "
+        << l.report.net.specialized_dispatches
+        << ", \"plan_evictions\": " << l.report.plan_evictions
         << ", \"packed_bytes\": " << l.report.packed_bytes
         << ", \"local_fastpath_copies\": " << l.report.local_fastpath_copies
         << ", \"skipped_already_mapped\": "
@@ -202,6 +212,7 @@ int run_level(const std::string& source, const Options& options,
     run_options.ranks = options.ranks;
     run_options.backend = options.backend;
     run_options.threads = options.threads;
+    run_options.interpret_kernels = options.interpret_kernels;
     const auto oracle = driver::run_oracle(compiled, run_options);
     const auto report = driver::run(compiled, run_options);
     const bool matches = report.signature == oracle.signature &&
