@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appB_scaling.dir/bench/bench_appB_scaling.cpp.o"
+  "CMakeFiles/bench_appB_scaling.dir/bench/bench_appB_scaling.cpp.o.d"
+  "bench_appB_scaling"
+  "bench_appB_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appB_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

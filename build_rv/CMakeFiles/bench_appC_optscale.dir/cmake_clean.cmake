@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appC_optscale.dir/bench/bench_appC_optscale.cpp.o"
+  "CMakeFiles/bench_appC_optscale.dir/bench/bench_appC_optscale.cpp.o.d"
+  "bench_appC_optscale"
+  "bench_appC_optscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appC_optscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_appC_optscale.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_direct.dir/bench/bench_fig01_direct.cpp.o"
+  "CMakeFiles/bench_fig01_direct.dir/bench/bench_fig01_direct.cpp.o.d"
+  "bench_fig01_direct"
+  "bench_fig01_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_useless.dir/bench/bench_fig02_useless.cpp.o"
+  "CMakeFiles/bench_fig02_useless.dir/bench/bench_fig02_useless.cpp.o.d"
+  "bench_fig02_useless"
+  "bench_fig02_useless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_useless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_aligned.dir/bench/bench_fig03_aligned.cpp.o"
+  "CMakeFiles/bench_fig03_aligned.dir/bench/bench_fig03_aligned.cpp.o.d"
+  "bench_fig03_aligned"
+  "bench_fig03_aligned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_aligned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

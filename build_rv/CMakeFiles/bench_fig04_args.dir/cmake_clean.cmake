@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_args.dir/bench/bench_fig04_args.cpp.o"
+  "CMakeFiles/bench_fig04_args.dir/bench/bench_fig04_args.cpp.o.d"
+  "bench_fig04_args"
+  "bench_fig04_args.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_args.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

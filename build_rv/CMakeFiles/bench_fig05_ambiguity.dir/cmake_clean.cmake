@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_ambiguity.dir/bench/bench_fig05_ambiguity.cpp.o"
+  "CMakeFiles/bench_fig05_ambiguity.dir/bench/bench_fig05_ambiguity.cpp.o.d"
+  "bench_fig05_ambiguity"
+  "bench_fig05_ambiguity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_ambiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_translate.dir/bench/bench_fig07_translate.cpp.o"
+  "CMakeFiles/bench_fig07_translate.dir/bench/bench_fig07_translate.cpp.o.d"
+  "bench_fig07_translate"
+  "bench_fig07_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_livecopy.dir/bench/bench_fig13_livecopy.cpp.o"
+  "CMakeFiles/bench_fig13_livecopy.dir/bench/bench_fig13_livecopy.cpp.o.d"
+  "bench_fig13_livecopy"
+  "bench_fig13_livecopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_livecopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

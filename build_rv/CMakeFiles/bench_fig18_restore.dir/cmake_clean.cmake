@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_restore.dir/bench/bench_fig18_restore.cpp.o"
+  "CMakeFiles/bench_fig18_restore.dir/bench/bench_fig18_restore.cpp.o.d"
+  "bench_fig18_restore"
+  "bench_fig18_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_codegen.dir/bench/bench_fig19_codegen.cpp.o"
+  "CMakeFiles/bench_fig19_codegen.dir/bench/bench_fig19_codegen.cpp.o.d"
+  "bench_fig19_codegen"
+  "bench_fig19_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

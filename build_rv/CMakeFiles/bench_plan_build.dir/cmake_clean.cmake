@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_build.dir/bench/bench_plan_build.cpp.o"
+  "CMakeFiles/bench_plan_build.dir/bench/bench_plan_build.cpp.o.d"
+  "bench_plan_build"
+  "bench_plan_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_redist_kernels.dir/bench/bench_redist_kernels.cpp.o"
+  "CMakeFiles/bench_redist_kernels.dir/bench/bench_redist_kernels.cpp.o.d"
+  "bench_redist_kernels"
+  "bench_redist_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redist_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_region_kill.dir/bench/bench_region_kill.cpp.o"
+  "CMakeFiles/bench_region_kill.dir/bench/bench_region_kill.cpp.o.d"
+  "bench_region_kill"
+  "bench_region_kill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_region_kill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remap_hotpath.dir/bench/bench_remap_hotpath.cpp.o"
+  "CMakeFiles/bench_remap_hotpath.dir/bench/bench_remap_hotpath.cpp.o.d"
+  "bench_remap_hotpath"
+  "bench_remap_hotpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remap_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adi.dir/examples/adi.cpp.o"
+  "CMakeFiles/example_adi.dir/examples/adi.cpp.o.d"
+  "example_adi"
+  "example_adi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fft2d.dir/examples/fft2d.cpp.o"
+  "CMakeFiles/example_fft2d.dir/examples/fft2d.cpp.o.d"
+  "example_fft2d"
+  "example_fft2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fft2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

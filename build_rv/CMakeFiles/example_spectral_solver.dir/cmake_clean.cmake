@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spectral_solver.dir/examples/spectral_solver.cpp.o"
+  "CMakeFiles/example_spectral_solver.dir/examples/spectral_solver.cpp.o.d"
+  "example_spectral_solver"
+  "example_spectral_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spectral_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

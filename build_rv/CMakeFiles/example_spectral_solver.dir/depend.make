@@ -1,0 +1,2 @@
+# Empty dependencies file for example_spectral_solver.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfc.dir/tools/hpfc.cpp.o"
+  "CMakeFiles/hpfc.dir/tools/hpfc.cpp.o.d"
+  "hpfc"
+  "hpfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpfc_bench_common.dir/bench/common.cpp.o"
+  "CMakeFiles/hpfc_bench_common.dir/bench/common.cpp.o.d"
+  "libhpfc_bench_common.a"
+  "libhpfc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpfc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpfc_bench_common.a"
+)

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/gen.cpp" "CMakeFiles/hpfc_lib.dir/src/codegen/gen.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/codegen/gen.cpp.o.d"
+  "/root/repo/src/codegen/runtime_ops.cpp" "CMakeFiles/hpfc_lib.dir/src/codegen/runtime_ops.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/codegen/runtime_ops.cpp.o.d"
+  "/root/repo/src/driver/compiler.cpp" "CMakeFiles/hpfc_lib.dir/src/driver/compiler.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/driver/compiler.cpp.o.d"
+  "/root/repo/src/exec/backend.cpp" "CMakeFiles/hpfc_lib.dir/src/exec/backend.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/exec/backend.cpp.o.d"
+  "/root/repo/src/exec/thread_backend.cpp" "CMakeFiles/hpfc_lib.dir/src/exec/thread_backend.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/exec/thread_backend.cpp.o.d"
+  "/root/repo/src/hpf/builder.cpp" "CMakeFiles/hpfc_lib.dir/src/hpf/builder.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/hpf/builder.cpp.o.d"
+  "/root/repo/src/hpf/lexer.cpp" "CMakeFiles/hpfc_lib.dir/src/hpf/lexer.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/hpf/lexer.cpp.o.d"
+  "/root/repo/src/hpf/parser.cpp" "CMakeFiles/hpfc_lib.dir/src/hpf/parser.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/hpf/parser.cpp.o.d"
+  "/root/repo/src/ir/cfg.cpp" "CMakeFiles/hpfc_lib.dir/src/ir/cfg.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/ir/cfg.cpp.o.d"
+  "/root/repo/src/ir/effects.cpp" "CMakeFiles/hpfc_lib.dir/src/ir/effects.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/ir/effects.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "CMakeFiles/hpfc_lib.dir/src/ir/program.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/ir/program.cpp.o.d"
+  "/root/repo/src/ir/stmt.cpp" "CMakeFiles/hpfc_lib.dir/src/ir/stmt.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/ir/stmt.cpp.o.d"
+  "/root/repo/src/mapping/align.cpp" "CMakeFiles/hpfc_lib.dir/src/mapping/align.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/mapping/align.cpp.o.d"
+  "/root/repo/src/mapping/dist.cpp" "CMakeFiles/hpfc_lib.dir/src/mapping/dist.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/mapping/dist.cpp.o.d"
+  "/root/repo/src/mapping/layout.cpp" "CMakeFiles/hpfc_lib.dir/src/mapping/layout.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/mapping/layout.cpp.o.d"
+  "/root/repo/src/mapping/mapping.cpp" "CMakeFiles/hpfc_lib.dir/src/mapping/mapping.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/mapping/mapping.cpp.o.d"
+  "/root/repo/src/mapping/runs.cpp" "CMakeFiles/hpfc_lib.dir/src/mapping/runs.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/mapping/runs.cpp.o.d"
+  "/root/repo/src/mapping/shape.cpp" "CMakeFiles/hpfc_lib.dir/src/mapping/shape.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/mapping/shape.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "CMakeFiles/hpfc_lib.dir/src/net/network.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/net/network.cpp.o.d"
+  "/root/repo/src/opt/passes.cpp" "CMakeFiles/hpfc_lib.dir/src/opt/passes.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/opt/passes.cpp.o.d"
+  "/root/repo/src/redist/commsets.cpp" "CMakeFiles/hpfc_lib.dir/src/redist/commsets.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/redist/commsets.cpp.o.d"
+  "/root/repo/src/redist/fused.cpp" "CMakeFiles/hpfc_lib.dir/src/redist/fused.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/redist/fused.cpp.o.d"
+  "/root/repo/src/redist/kernelgen.cpp" "CMakeFiles/hpfc_lib.dir/src/redist/kernelgen.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/redist/kernelgen.cpp.o.d"
+  "/root/repo/src/redist/segments.cpp" "CMakeFiles/hpfc_lib.dir/src/redist/segments.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/redist/segments.cpp.o.d"
+  "/root/repo/src/remap/build.cpp" "CMakeFiles/hpfc_lib.dir/src/remap/build.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/remap/build.cpp.o.d"
+  "/root/repo/src/remap/graph.cpp" "CMakeFiles/hpfc_lib.dir/src/remap/graph.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/remap/graph.cpp.o.d"
+  "/root/repo/src/runtime/machine.cpp" "CMakeFiles/hpfc_lib.dir/src/runtime/machine.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/runtime/machine.cpp.o.d"
+  "/root/repo/src/support/check.cpp" "CMakeFiles/hpfc_lib.dir/src/support/check.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/support/check.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "CMakeFiles/hpfc_lib.dir/src/support/diagnostics.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/support/diagnostics.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "CMakeFiles/hpfc_lib.dir/src/support/strings.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/support/strings.cpp.o.d"
+  "/root/repo/src/testing/program_gen.cpp" "CMakeFiles/hpfc_lib.dir/src/testing/program_gen.cpp.o" "gcc" "CMakeFiles/hpfc_lib.dir/src/testing/program_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_align_dist.dir/tests/test_align_dist.cpp.o"
+  "CMakeFiles/test_align_dist.dir/tests/test_align_dist.cpp.o.d"
+  "test_align_dist"
+  "test_align_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_align_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

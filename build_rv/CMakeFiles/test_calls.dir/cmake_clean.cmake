@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calls.dir/tests/test_calls.cpp.o"
+  "CMakeFiles/test_calls.dir/tests/test_calls.cpp.o.d"
+  "test_calls"
+  "test_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fusion.dir/tests/test_fusion.cpp.o"
+  "CMakeFiles/test_fusion.dir/tests/test_fusion.cpp.o.d"
+  "test_fusion"
+  "test_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_effects.dir/tests/test_net_effects.cpp.o"
+  "CMakeFiles/test_net_effects.dir/tests/test_net_effects.cpp.o.d"
+  "test_net_effects"
+  "test_net_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

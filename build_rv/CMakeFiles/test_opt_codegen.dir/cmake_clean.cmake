@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_codegen.dir/tests/test_opt_codegen.cpp.o"
+  "CMakeFiles/test_opt_codegen.dir/tests/test_opt_codegen.cpp.o.d"
+  "test_opt_codegen"
+  "test_opt_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

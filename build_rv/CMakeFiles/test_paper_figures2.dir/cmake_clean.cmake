@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_figures2.dir/tests/test_paper_figures2.cpp.o"
+  "CMakeFiles/test_paper_figures2.dir/tests/test_paper_figures2.cpp.o.d"
+  "test_paper_figures2"
+  "test_paper_figures2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_figures2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

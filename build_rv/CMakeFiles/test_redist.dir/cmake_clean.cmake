@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redist.dir/tests/test_redist.cpp.o"
+  "CMakeFiles/test_redist.dir/tests/test_redist.cpp.o.d"
+  "test_redist"
+  "test_redist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

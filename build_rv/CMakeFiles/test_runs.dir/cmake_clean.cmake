@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runs.dir/tests/test_runs.cpp.o"
+  "CMakeFiles/test_runs.dir/tests/test_runs.cpp.o.d"
+  "test_runs"
+  "test_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

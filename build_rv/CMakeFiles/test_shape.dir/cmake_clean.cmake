@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shape.dir/tests/test_shape.cpp.o"
+  "CMakeFiles/test_shape.dir/tests/test_shape.cpp.o.d"
+  "test_shape"
+  "test_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
