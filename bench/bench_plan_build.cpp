@@ -3,19 +3,25 @@
 // the array extent; the run-based build_runs() works on closed-form
 // interval runs, so for fixed P its cost is independent of N. The pack
 // stage measures segment-program compilation plus bulk pack/unpack
-// throughput on a real redistribution.
+// throughput on a real redistribution. The symbolic sweep compiles each
+// layout pair ONCE into a SymbolicPlan and then binds it across an
+// (N, P) grid: the cold binding is O(runs), and the warm binding is one
+// cache lookup, flat in N — "compile once, instantiate anywhere".
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
 #include "mapping/layout.hpp"
+#include "mapping/symbolic.hpp"
 #include "redist/commsets.hpp"
 #include "redist/segments.hpp"
+#include "redist/symbolic_plan.hpp"
 
 namespace {
 
@@ -96,6 +102,96 @@ void measure_plan_build(bench_common::Harness& harness) {
   }
 }
 
+// One SymbolicPlan per layout pair, bound across the whole (N, P) grid:
+// `build_runs` rebuilds the plan concretely at every shape (the oracle
+// cost), `instantiate_cold` binds the symbolic family at a new shape key
+// (O(runs), flat in N), and `instantiate` is the warm path — the cache
+// hit every later plan slot of the same family and shape pays.
+void measure_symbolic_sweep(bench_common::Harness& harness) {
+  const int reps = std::max(1, harness.options().reps);
+  constexpr int kWarmCalls = 4096;  // inner average; one call is ~a map find
+  const LayoutPair pairs[] = {
+      {"block-cyclic", DistFormat::block(), DistFormat::cyclic()},
+      {"cyclic3-block", DistFormat::cyclic(3), DistFormat::block()},
+      {"cyclic2-cyclic5", DistFormat::cyclic(2), DistFormat::cyclic(5)},
+  };
+  for (const LayoutPair& pair : pairs) {
+    // Compile the family once, from a small reference shape; every grid
+    // point below reuses this one symbolic plan.
+    const auto sym_from =
+        hpfc::mapping::SymbolicLayout::abstract(one_dim(1024, 4, pair.from));
+    const auto sym_to =
+        hpfc::mapping::SymbolicLayout::abstract(one_dim(1024, 4, pair.to));
+    if (!sym_from.has_value() || !sym_to.has_value()) {
+      std::fprintf(stderr, "bench_plan_build: %s is not abstractable\n",
+                   pair.name.c_str());
+      std::exit(1);
+    }
+    hpfc::redist::SymbolicPlan plan(*sym_from, *sym_to);
+
+    double warm_min_ms = 1e9;
+    double warm_max_ms = 0.0;
+    for (const Extent n : {Extent{1} << 16, Extent{1} << 18, Extent{1} << 20,
+                           Extent{1} << 21, Extent{1} << 22}) {
+      for (const Extent procs : {Extent{2}, Extent{4}, Extent{8},
+                                 Extent{16}}) {
+        const auto from = one_dim(n, procs, pair.from);
+        const auto to = one_dim(n, procs, pair.to);
+        const std::string config = pair.name + " N=" + std::to_string(n) +
+                                   " P=" + std::to_string(procs);
+
+        hpfc::redist::RedistPlanV2 concrete;
+        const double concrete_ms = median_ms(
+            reps, [&] { concrete = hpfc::redist::build_runs(from, to); });
+
+        const auto key = hpfc::redist::SymbolicPlan::key(
+            from.array_shape(), from.proc_shape(), to.proc_shape());
+        std::shared_ptr<const hpfc::redist::PlanInstance> instance;
+        const double cold_ms = median_ms(reps, [&] {
+          plan.drop(key);
+          instance = plan.instantiate(from.array_shape(), from.proc_shape(),
+                                      to.proc_shape());
+        });
+        if (instance->plan.total_elements() != concrete.total_elements()) {
+          std::fprintf(
+              stderr,
+              "bench_plan_build: symbolic/concrete mismatch on %s (%lld vs "
+              "%lld)\n",
+              config.c_str(),
+              static_cast<long long>(instance->plan.total_elements()),
+              static_cast<long long>(concrete.total_elements()));
+          std::exit(1);
+        }
+
+        const double warm_ms =
+            median_ms(reps,
+                      [&] {
+                        for (int i = 0; i < kWarmCalls; ++i)
+                          instance = plan.instantiate(from.array_shape(),
+                                                      from.proc_shape(),
+                                                      to.proc_shape());
+                      }) /
+            kWarmCalls;
+        warm_min_ms = std::min(warm_min_ms, warm_ms);
+        warm_max_ms = std::max(warm_max_ms, warm_ms);
+
+        harness.record_timing("symbolic_sweep", config, "build_runs",
+                              concrete_ms);
+        harness.record_timing("symbolic_sweep", config, "instantiate_cold",
+                              cold_ms);
+        harness.record_timing("symbolic_sweep", config, "instantiate",
+                              warm_ms);
+      }
+    }
+    bench_common::note(pair.name + ": one symbolic compile, " +
+                       std::to_string(plan.instances()) +
+                       " live instances; warm bind " +
+                       std::to_string(warm_min_ms * 1e6) + "-" +
+                       std::to_string(warm_max_ms * 1e6) +
+                       " ns across the (N, P) grid");
+  }
+}
+
 void measure_pack_throughput(bench_common::Harness& harness) {
   const int reps = std::max(1, harness.options().reps);
   const Extent procs = 8;
@@ -160,6 +256,7 @@ int main(int argc, char** argv) {
             "plan_build",
             "run-based plan construction is O(runs), not O(N), for fixed P");
         measure_plan_build(harness);
+        measure_symbolic_sweep(harness);
         measure_pack_throughput(harness);
       });
 }

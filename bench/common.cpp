@@ -127,6 +127,9 @@ LevelMetrics metrics_from(const std::string& level, const RunReport& report,
   metrics.fused_copies = report.net.fused_copies;
   metrics.specialized_kernels = report.net.specialized_kernels;
   metrics.specialized_dispatches = report.net.specialized_dispatches;
+  metrics.plan_cache_hits = report.net.plan_cache_hits;
+  metrics.plan_cache_misses = report.net.plan_cache_misses;
+  metrics.symbolic_instantiations = report.net.symbolic_instantiations;
   metrics.skipped_status_guard = report.skipped_already_mapped;
   metrics.skipped_live_copy = report.skipped_live_copy;
   metrics.sim_time_ms = report.net.sim_time * 1e3;
@@ -171,6 +174,8 @@ HarnessOptions HarnessOptions::parse(int& argc, char** argv) {
       options.threads = std::atoi(arg.c_str() + 10);
     } else if (arg == "--interpret-kernels") {
       options.interpret_kernels = true;
+    } else if (arg == "--concrete-plans") {
+      options.concrete_plans = true;
     } else if (arg == "--no-gbench") {
       options.run_google_benchmarks = false;
     } else {
@@ -199,6 +204,7 @@ hpfc::runtime::RunOptions Harness::run_options(unsigned seed) const {
   run_options.backend = options_.backend;
   run_options.threads = options_.threads;
   run_options.interpret_kernels = options_.interpret_kernels;
+  run_options.concrete_plans = options_.concrete_plans;
   return run_options;
 }
 
@@ -319,6 +325,9 @@ bool Harness::write_json() const {
          << ", \"fused_copies\": " << m.fused_copies
          << ", \"specialized_kernels\": " << m.specialized_kernels
          << ", \"specialized_dispatches\": " << m.specialized_dispatches
+         << ", \"plan_cache_hits\": " << m.plan_cache_hits
+         << ", \"plan_cache_misses\": " << m.plan_cache_misses
+         << ", \"symbolic_instantiations\": " << m.symbolic_instantiations
          << ", \"host_allocs\": " << m.host_allocs
          << ", \"skipped_status_guard\": " << m.skipped_status_guard
          << ", \"skipped_live_copy\": " << m.skipped_live_copy

@@ -72,6 +72,16 @@ struct LevelMetrics {
   /// producing site — invariant across backends and the fast-path /
   /// fusion toggles.
   std::uint64_t specialized_dispatches = 0;
+  /// Warm lookups the symbolic plan cache served without instantiating
+  /// (the (N, P) instance already existed); 0 under --concrete-plans.
+  std::uint64_t plan_cache_hits = 0;
+  /// Cold lookups that had to instantiate a symbolic plan for a new
+  /// (N, P) key; always equal to symbolic_instantiations.
+  std::uint64_t plan_cache_misses = 0;
+  /// Symbolic-plan instantiations performed (O(runs), not O(N)); counted
+  /// at the producing site, so invariant across backends and the kernel /
+  /// fusion / fast-path toggles.
+  std::uint64_t symbolic_instantiations = 0;
   /// Host heap allocations during the measured run (0 when the bench does
   /// not count them; only bespoke benches overriding operator new fill it).
   std::uint64_t host_allocs = 0;
@@ -114,6 +124,9 @@ struct FigureRecord {
 ///   --interpret-kernels  run transfers through the interpreted segment
 ///                 walker instead of the specialized kernels (the A/B
 ///                 oracle toggle; see docs/kernels.md)
+///   --concrete-plans  build plan slots from the concrete layouts instead
+///                 of the symbolic plan cache (the A/B oracle toggle of
+///                 the symbolic layer; see docs/ARCHITECTURE.md)
 ///   --no-gbench   skip the Google Benchmark micro-benchmarks
 struct HarnessOptions {
   int reps = 3;
@@ -122,6 +135,7 @@ struct HarnessOptions {
   hpfc::exec::BackendKind backend = hpfc::exec::BackendKind::Seq;
   int threads = 0;
   bool interpret_kernels = false;
+  bool concrete_plans = false;
   std::string json_path;
   bool run_google_benchmarks = true;
 

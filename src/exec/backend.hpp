@@ -139,6 +139,21 @@ class Backend {
     stats_.specialized_dispatches += dispatches;
   }
 
+  /// Accounts symbolic plan-cache traffic from the runtime's plan slots:
+  /// one two-level lookup per plan-slot compile (symbolic family id →
+  /// bound (N, P) instance), counted at the producing site on the
+  /// controlling thread between steps, so the counters are invariant
+  /// across force_message_path, unfuse_copy_groups, interpret_kernels
+  /// and the execution backends. `instantiations` counts the concrete
+  /// plans built on misses (rising again when an evicted instance is
+  /// re-bound). All three stay 0 under RunOptions::concrete_plans.
+  void account_plan_cache(std::uint64_t hits, std::uint64_t misses,
+                          std::uint64_t instantiations) {
+    stats_.plan_cache_hits += hits;
+    stats_.plan_cache_misses += misses;
+    stats_.symbolic_instantiations += instantiations;
+  }
+
  protected:
   int ranks_;
   net::CostModel cost_;

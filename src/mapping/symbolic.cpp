@@ -1,0 +1,338 @@
+#include "mapping/symbolic.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace hpfc::mapping {
+
+namespace {
+
+/// Non-negative operands only (block sizes and extents are positive).
+Extent ceil_div(Extent a, Extent b) { return (a + b - 1) / b; }
+
+/// Appends one term of an affine form to `os` (debugging output).
+void append_term(std::ostringstream& os, Extent coeff, const char* name) {
+  if (coeff == 0) return;
+  if (os.tellp() > 0 && coeff > 0) os << "+";
+  if (coeff == -1)
+    os << "-";
+  else if (coeff != 1)
+    os << coeff;
+  os << name;
+}
+
+/// The symbolic ownership pattern of one parametric grid dimension: the
+/// run sets ConcreteLayout::axis_runs derives per rank, expressed once
+/// over (r, N, P) instead of per binding.
+SymbolicRuns symbolic_owned(const SymbolicDim& dim) {
+  SymbolicRuns owned;
+  if (dim.format == DistFormat::Kind::Block) {
+    if (dim.param == 0) {
+      // Default BLOCK: rank r owns the interval [r*B, r*B + B) clipped to
+      // [0, N), with B = ceil(N/P).
+      owned.base = SymbolicExpr{.crB = 1};
+      owned.period = SymbolicExpr{.cB = 1};
+      owned.span = SymbolicExpr{.cB = 1};
+      owned.runs = {{SymbolicExpr::lit(0), SymbolicExpr::lit(1),
+                     SymbolicExpr{.cB = 1}}};
+    } else {
+      // BLOCK(b): the same interval with a literal block size.
+      owned.base = SymbolicExpr{.cr = dim.param};
+      owned.period = SymbolicExpr::lit(dim.param);
+      owned.span = SymbolicExpr::lit(dim.param);
+      owned.runs = {{SymbolicExpr::lit(0), SymbolicExpr::lit(1),
+                     SymbolicExpr::lit(dim.param)}};
+    }
+  } else {
+    // CYCLIC(k): rank r owns offsets [r*k, r*k + k) of every k*P cycle
+    // across the whole dimension.
+    HPFC_ASSERT(dim.format == DistFormat::Kind::Cyclic);
+    owned.base = SymbolicExpr::lit(0);
+    owned.period = SymbolicExpr{.cP = dim.param};
+    owned.span = SymbolicExpr{.cN = 1};
+    owned.runs = {{SymbolicExpr{.cr = dim.param}, SymbolicExpr::lit(1),
+                   SymbolicExpr::lit(dim.param)}};
+  }
+  return owned;
+}
+
+/// Processor coordinate holding a Constant-source dimension's template
+/// cell, reproducing ConcreteLayout::make canonicalization followed by
+/// coord_of_template on the literal descriptor — closed-form in `procs`,
+/// so constant gates never force the concrete fallback.
+Extent constant_coord(const SymbolicDim& dim, Extent procs) {
+  if (procs == 1) return 0;
+  DistFormat::Kind kind = dim.format;
+  Extent param = dim.param;
+  const Extent te = dim.template_extent;
+  if (kind == DistFormat::Kind::Cyclic && param * procs >= te)
+    kind = DistFormat::Kind::Block;
+  if (kind == DistFormat::Kind::Block && param >= te) param = te;
+  const Extent t = dim.offset;
+  HPFC_ASSERT_MSG(t >= 0 && t < te, "constant template coordinate in range");
+  return kind == DistFormat::Kind::Block ? t / param : (t / param) % procs;
+}
+
+}  // namespace
+
+Extent SymbolicExpr::eval(Extent r, Extent n, Extent p) const {
+  const Extent b = ceil_div(n, p);
+  return c0 + cr * r + cN * n + cP * p + cB * b + crB * r * b;
+}
+
+std::string SymbolicExpr::to_string() const {
+  std::ostringstream os;
+  append_term(os, cr, "r");
+  append_term(os, cN, "N");
+  append_term(os, cP, "P");
+  append_term(os, cB, "B");
+  append_term(os, crB, "rB");
+  if (c0 != 0 || os.tellp() == 0) {
+    if (os.tellp() > 0 && c0 > 0) os << "+";
+    os << c0;
+  }
+  return os.str();
+}
+
+IndexRuns SymbolicRuns::instantiate(Extent r, Extent n, Extent p) const {
+  const Extent b = base.eval(r, n, p);
+  const Extent q = period.eval(r, n, p);
+  const Index lo = std::max<Index>(b, 0);
+  const Index hi = std::min<Index>(b + span.eval(r, n, p), n);
+  if (lo >= hi || q <= 0) return IndexRuns{};
+  // A single run covering its whole period is an interval; emit it through
+  // the same factory ConcreteLayout::axis_runs uses for BLOCK windows so
+  // the two paths agree structurally, not just as sets.
+  if (runs.size() == 1) {
+    const Extent offset = runs[0].offset.eval(r, n, p);
+    const Extent stride = runs[0].stride.eval(r, n, p);
+    const Extent count = runs[0].count.eval(r, n, p);
+    if (offset == 0 && stride == 1 && count >= q)
+      return IndexRuns::interval(lo, hi);
+  }
+  std::vector<IndexRun> bound;
+  bound.reserve(runs.size());
+  for (const SymbolicRun& run : runs) {
+    const Extent count = run.count.eval(r, n, p);
+    if (count <= 0) continue;
+    bound.push_back(
+        {run.offset.eval(r, n, p), run.stride.eval(r, n, p), count});
+  }
+  return IndexRuns(b, q, std::move(bound), hi - b);
+}
+
+std::string SymbolicRuns::to_string() const {
+  std::ostringstream os;
+  os << "{base " << base.to_string() << ", period " << period.to_string()
+     << ", span " << span.to_string() << ", runs [";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << runs[i].offset.to_string() << "/" << runs[i].stride.to_string()
+       << "x" << runs[i].count.to_string();
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::optional<SymbolicLayout> SymbolicLayout::abstract(
+    const ConcreteLayout& layout) {
+  SymbolicLayout sym;
+  sym.array_rank_ = layout.array_shape().rank();
+  const int grid = layout.proc_shape().rank();
+  sym.dims_.reserve(static_cast<std::size_t>(grid));
+  sym.owned_.resize(static_cast<std::size_t>(grid));
+  for (int p = 0; p < grid; ++p) {
+    const DimOwner& owner = layout.owners()[static_cast<std::size_t>(p)];
+    if (!owner.format.distributed() || owner.format.param <= 0)
+      return std::nullopt;
+    const Extent procs = layout.proc_shape().extent(p);
+    SymbolicDim dim;
+    dim.source = owner.source.kind;
+    dim.format = owner.format.kind;
+    dim.param = owner.format.param;
+    dim.template_extent = owner.template_extent;
+    switch (owner.source.kind) {
+      case AlignTarget::Kind::Axis: {
+        dim.array_dim = owner.source.array_dim;
+        dim.stride = owner.source.stride;
+        dim.offset = owner.source.offset;
+        const Extent n = layout.array_shape().extent(dim.array_dim);
+        if (dim.stride == 1 && dim.offset == 0 && owner.template_extent == n) {
+          dim.template_extent = 0;  // the template tracks N
+          if (dim.format == DistFormat::Kind::Block &&
+              dim.param == ceil_div(n, procs)) {
+            dim.param = 0;  // the default block size ceil(N/P)
+          }
+        }
+        break;
+      }
+      case AlignTarget::Kind::Constant:
+        dim.offset = owner.source.offset;
+        break;
+      case AlignTarget::Kind::Replicated:
+        break;
+    }
+    if (dim.parametric())
+      sym.owned_[static_cast<std::size_t>(p)] = symbolic_owned(dim);
+    sym.dims_.push_back(dim);
+  }
+  return sym;
+}
+
+ConcreteLayout SymbolicLayout::instantiate(const Shape& array_shape,
+                                           const Shape& proc_shape) const {
+  HPFC_ASSERT_MSG(array_shape.rank() == array_rank_,
+                  "binding a symbolic layout to a different array rank");
+  HPFC_ASSERT_MSG(proc_shape.rank() == grid_rank(),
+                  "binding a symbolic layout to a different grid rank");
+  std::vector<DimOwner> owners;
+  owners.reserve(dims_.size());
+  for (int p = 0; p < grid_rank(); ++p) {
+    const SymbolicDim& dim = dims_[static_cast<std::size_t>(p)];
+    DimOwner owner;
+    switch (dim.source) {
+      case AlignTarget::Kind::Axis:
+        owner.source = AlignTarget::axis(dim.array_dim, dim.stride, dim.offset);
+        break;
+      case AlignTarget::Kind::Constant:
+        owner.source = AlignTarget::constant(dim.offset);
+        break;
+      case AlignTarget::Kind::Replicated:
+        owner.source = AlignTarget::replicated();
+        break;
+    }
+    owner.template_extent = dim.template_extent == 0
+                                ? array_shape.extent(dim.array_dim)
+                                : dim.template_extent;
+    const Extent param =
+        dim.param == 0 ? ceil_div(owner.template_extent, proc_shape.extent(p))
+                       : dim.param;
+    owner.format = dim.format == DistFormat::Kind::Block
+                       ? DistFormat::block(param)
+                       : DistFormat::cyclic(param);
+    owners.push_back(owner);
+  }
+  return ConcreteLayout::make(array_shape, proc_shape, std::move(owners));
+}
+
+bool SymbolicLayout::parametric() const {
+  return std::all_of(dims_.begin(), dims_.end(), [](const SymbolicDim& dim) {
+    return dim.source != AlignTarget::Kind::Axis || dim.parametric();
+  });
+}
+
+bool SymbolicLayout::canonical_at(const Shape& array_shape,
+                                  const Shape& proc_shape) const {
+  if (array_shape.rank() != array_rank_ || proc_shape.rank() != grid_rank())
+    return false;
+  for (int p = 0; p < grid_rank(); ++p) {
+    const SymbolicDim& dim = dims_[static_cast<std::size_t>(p)];
+    // Constant and Replicated gates reproduce canonicalization in closed
+    // form at any procs count; only axis dims constrain the binding.
+    if (dim.source != AlignTarget::Kind::Axis) continue;
+    if (!dim.parametric()) return false;
+    const Extent procs = proc_shape.extent(p);
+    const Extent n = array_shape.extent(dim.array_dim);
+    // Collapse rules: procs == 1 collapses the dimension, n == 1 turns
+    // the axis into a constant.
+    if (procs < 2 || n < 2) return false;
+    // CYCLIC(k) wrapping at most once becomes BLOCK(k); BLOCK(b) covering
+    // the whole extent degenerates to coordinate 0.
+    if (dim.format == DistFormat::Kind::Cyclic && dim.param * procs >= n)
+      return false;
+    if (dim.format == DistFormat::Kind::Block && dim.param != 0 &&
+        dim.param >= n)
+      return false;
+  }
+  return true;
+}
+
+std::vector<IndexRuns> SymbolicLayout::owned_runs(const Shape& array_shape,
+                                                  const Shape& proc_shape,
+                                                  int rank,
+                                                  bool for_sending) const {
+  HPFC_ASSERT(rank >= 0 && rank < proc_shape.total());
+  const IndexVec coords = proc_shape.delinearize(rank);
+
+  std::vector<IndexRuns> runs(static_cast<std::size_t>(array_rank_));
+  for (int d = 0; d < array_rank_; ++d)
+    runs[static_cast<std::size_t>(d)] =
+        IndexRuns::interval(0, array_shape.extent(d));
+
+  const auto dead = [&runs] {
+    for (auto& r : runs) r = IndexRuns{};
+    return runs;
+  };
+  for (int p = 0; p < grid_rank(); ++p) {
+    const SymbolicDim& dim = dims_[static_cast<std::size_t>(p)];
+    const Extent coord = coords[static_cast<std::size_t>(p)];
+    switch (dim.source) {
+      case AlignTarget::Kind::Replicated:
+        if (for_sending && coord != 0) return dead();
+        break;
+      case AlignTarget::Kind::Constant:
+        if (constant_coord(dim, proc_shape.extent(p)) != coord) return dead();
+        break;
+      case AlignTarget::Kind::Axis:
+        HPFC_ASSERT_MSG(dim.parametric(),
+                        "owned_runs requires canonical_at bindings");
+        runs[static_cast<std::size_t>(dim.array_dim)] =
+            owned_[static_cast<std::size_t>(p)].instantiate(
+                coord, array_shape.extent(dim.array_dim),
+                proc_shape.extent(p));
+        break;
+    }
+  }
+  for (const auto& r : runs) {
+    if (r.empty()) {
+      for (auto& other : runs) other = IndexRuns{};
+      break;
+    }
+  }
+  return runs;
+}
+
+const SymbolicRuns* SymbolicLayout::runs_of(int p) const {
+  HPFC_ASSERT(p >= 0 && p < grid_rank());
+  return dims_[static_cast<std::size_t>(p)].parametric()
+             ? &owned_[static_cast<std::size_t>(p)]
+             : nullptr;
+}
+
+std::string SymbolicLayout::signature() const {
+  std::ostringstream os;
+  os << "r" << array_rank_;
+  for (const SymbolicDim& dim : dims_) {
+    os << ";";
+    switch (dim.source) {
+      case AlignTarget::Kind::Axis:
+        os << "a" << dim.array_dim << "s" << dim.stride << "o" << dim.offset;
+        break;
+      case AlignTarget::Kind::Constant:
+        os << "c" << dim.offset;
+        break;
+      case AlignTarget::Kind::Replicated:
+        os << "x";
+        break;
+    }
+    os << (dim.format == DistFormat::Kind::Block ? "B" : "C");
+    if (dim.param == 0)
+      os << "*";
+    else
+      os << dim.param;
+    os << "t";
+    if (dim.template_extent == 0)
+      os << "*";
+    else
+      os << dim.template_extent;
+  }
+  return os.str();
+}
+
+std::string SymbolicLayout::to_string() const {
+  return "symbolic[" + signature() + "]";
+}
+
+}  // namespace hpfc::mapping

@@ -1,0 +1,181 @@
+// Symbolic layouts: ConcreteLayout lifted over the problem parameters.
+//
+// A ConcreteLayout fixes the array extent N and the processor count P per
+// grid dimension; every redistribution plan derived from it is therefore
+// compiled per problem size. This layer abstracts a canonical layout into
+// a SymbolicLayout whose ownership run sets are *affine expressions* over
+// the parameters
+//
+//     r  — the rank coordinate along the grid dimension,
+//     N  — the extent of the array dimension the grid dimension distributes,
+//     P  — the processor count of the grid dimension,
+//     B  — the default block size ceil(N / P),
+//
+// so one symbolic compilation serves every (N, P) binding. Binding the
+// parameters (SymbolicRuns::instantiate) evaluates the expressions and
+// clips the result to [0, N) — the only non-affine step, a boundary
+// correction for the last partial block/cycle — producing IndexRuns that
+// are structurally identical to ConcreteLayout::owned_index_runs, in
+// O(runs) independent of N.
+//
+// The parametric family covers the canonical identity alignments (stride
+// 1, offset 0, template extent = array extent) under BLOCK / BLOCK(b) /
+// CYCLIC(k) formats — the shapes produced by HPF programs after
+// normalization. Dimensions outside the family (strided or shifted
+// alignments, fixed template extents) are kept as literal descriptors:
+// the layout still abstracts, instantiates and caches, but its per-rank
+// ownership falls back to the concrete closed form. The concrete path is
+// the differential oracle throughout (see tests/test_symbolic.cpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapping/align.hpp"
+#include "mapping/dist.hpp"
+#include "mapping/layout.hpp"
+#include "mapping/runs.hpp"
+#include "mapping/shape.hpp"
+
+namespace hpfc::mapping {
+
+/// Affine form over the symbolic parameters of one grid dimension:
+///
+///   value(r, N, P) = c0 + cr*r + cN*N + cP*P + cB*B + crB*r*B
+///
+/// with B = ceil(N / P). The r*B basis element carries the block-start
+/// coordinate of the default BLOCK distribution, whose block size is
+/// itself a parameter.
+struct SymbolicExpr {
+  Extent c0 = 0;
+  Extent cr = 0;
+  Extent cN = 0;
+  Extent cP = 0;
+  Extent cB = 0;
+  Extent crB = 0;
+
+  static SymbolicExpr lit(Extent value) { return {value}; }
+
+  [[nodiscard]] Extent eval(Extent r, Extent n, Extent p) const;
+  [[nodiscard]] bool is_literal() const {
+    return cr == 0 && cN == 0 && cP == 0 && cB == 0 && crB == 0;
+  }
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const SymbolicExpr&, const SymbolicExpr&) = default;
+};
+
+/// One strided run whose {offset, stride, count} triple is symbolic.
+struct SymbolicRun {
+  SymbolicExpr offset;
+  SymbolicExpr stride;
+  SymbolicExpr count;
+
+  friend bool operator==(const SymbolicRun&, const SymbolicRun&) = default;
+};
+
+/// The symbolic counterpart of IndexRuns: a periodic pattern of runs
+/// anchored at `base`, all four shape quantities affine in (r, N, P).
+struct SymbolicRuns {
+  SymbolicExpr base;
+  SymbolicExpr period;
+  SymbolicExpr span;
+  std::vector<SymbolicRun> runs;
+
+  /// Binds (r, N, P): evaluates every expression and clips the window top
+  /// to N (the last rank's partial block — the documented non-affine
+  /// boundary correction). The result is structurally equal to what
+  /// ConcreteLayout::axis_runs computes for the same canonical dimension.
+  [[nodiscard]] IndexRuns instantiate(Extent r, Extent n, Extent p) const;
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const SymbolicRuns&, const SymbolicRuns&) = default;
+};
+
+/// Owner rule of one grid dimension with the parametric quantities marked:
+/// `param == 0` means the default BLOCK size ceil(N/P), `template_extent
+/// == 0` means the template tracks the array dimension's extent. All other
+/// fields are literals carried over from the concrete owner.
+struct SymbolicDim {
+  AlignTarget::Kind source = AlignTarget::Kind::Replicated;
+  int array_dim = -1;          ///< Axis only
+  Extent stride = 1;           ///< Axis only (1 in the parametric family)
+  Extent offset = 0;           ///< Axis affine offset / Constant value
+  DistFormat::Kind format = DistFormat::Kind::Block;
+  Extent param = 0;            ///< 0 = default BLOCK(ceil(N/P))
+  Extent template_extent = 0;  ///< 0 = tracks the array dimension extent
+
+  /// In the stride-1/offset-0 tracked-extent family (symbolic ownership
+  /// runs are available for this dimension).
+  [[nodiscard]] bool parametric() const {
+    return source == AlignTarget::Kind::Axis && stride == 1 && offset == 0 &&
+           template_extent == 0;
+  }
+
+  friend bool operator==(const SymbolicDim&, const SymbolicDim&) = default;
+};
+
+/// A layout family parametric in the array and grid shapes: the symbolic
+/// compilation artifact. Abstracted once from a canonical ConcreteLayout,
+/// then bound to arbitrary (N, P) via instantiate(); equal descriptors
+/// (equal signature()) describe the same family regardless of the shapes
+/// they were abstracted at.
+class SymbolicLayout {
+ public:
+  SymbolicLayout() = default;
+
+  /// Lifts a canonical layout (as produced by ConcreteLayout::make) into
+  /// its family descriptor. Returns nullopt for non-canonical inputs
+  /// (collapsed formats, non-positive parameters). Roundtrip invariant:
+  /// abstract(L)->instantiate(L.array_shape(), L.proc_shape()) == L.
+  static std::optional<SymbolicLayout> abstract(const ConcreteLayout& layout);
+
+  /// Binds the family to concrete shapes through ConcreteLayout::make, so
+  /// canonicalization stays authoritative: the result is bit-identical to
+  /// building the same owner rules concretely.
+  [[nodiscard]] ConcreteLayout instantiate(const Shape& array_shape,
+                                           const Shape& proc_shape) const;
+
+  /// Every axis dimension is in the parametric family: the descriptor
+  /// rebinds to any (N, P), not just the shapes it was abstracted at.
+  [[nodiscard]] bool parametric() const;
+
+  /// The bound shapes keep every dimension canonical (no
+  /// ConcreteLayout::make normalization rule fires), so owned_runs() may
+  /// evaluate the symbolic run sets directly instead of re-deriving the
+  /// concrete closed form.
+  [[nodiscard]] bool canonical_at(const Shape& array_shape,
+                                  const Shape& proc_shape) const;
+
+  /// Per-array-dimension ownership of `rank` straight from the symbolic
+  /// run sets (requires canonical_at). Structurally equal to
+  /// instantiate(...).owned_index_runs(rank, for_sending).
+  [[nodiscard]] std::vector<IndexRuns> owned_runs(const Shape& array_shape,
+                                                  const Shape& proc_shape,
+                                                  int rank,
+                                                  bool for_sending) const;
+
+  [[nodiscard]] int array_rank() const { return array_rank_; }
+  [[nodiscard]] int grid_rank() const {
+    return static_cast<int>(dims_.size());
+  }
+  [[nodiscard]] const std::vector<SymbolicDim>& dims() const { return dims_; }
+  /// Symbolic ownership pattern of grid dim `p` (parametric dims only;
+  /// nullptr otherwise).
+  [[nodiscard]] const SymbolicRuns* runs_of(int p) const;
+
+  /// Deterministic family key: equal signatures iff equal descriptors.
+  [[nodiscard]] std::string signature() const;
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const SymbolicLayout&, const SymbolicLayout&) =
+      default;
+
+ private:
+  int array_rank_ = 0;
+  std::vector<SymbolicDim> dims_;
+  /// Parallel to dims_; meaningful only where dims_[p].parametric().
+  std::vector<SymbolicRuns> owned_;
+};
+
+}  // namespace hpfc::mapping

@@ -18,6 +18,9 @@ NetStats& NetStats::operator+=(const NetStats& other) {
   fused_copies += other.fused_copies;
   specialized_kernels += other.specialized_kernels;
   specialized_dispatches += other.specialized_dispatches;
+  plan_cache_hits += other.plan_cache_hits;
+  plan_cache_misses += other.plan_cache_misses;
+  symbolic_instantiations += other.symbolic_instantiations;
   sim_time += other.sim_time;
   return *this;
 }
@@ -32,6 +35,9 @@ NetStats operator-(NetStats a, const NetStats& b) {
   a.fused_copies -= b.fused_copies;
   a.specialized_kernels -= b.specialized_kernels;
   a.specialized_dispatches -= b.specialized_dispatches;
+  a.plan_cache_hits -= b.plan_cache_hits;
+  a.plan_cache_misses -= b.plan_cache_misses;
+  a.symbolic_instantiations -= b.symbolic_instantiations;
   a.sim_time -= b.sim_time;
   return a;
 }

@@ -46,6 +46,22 @@ struct NetStats {
   /// producing site (pack or local copy), so the count is invariant
   /// across the fast-path / fusion toggles and the execution backends.
   std::uint64_t specialized_dispatches = 0;
+  /// Plan-slot compilations that found their symbolic plan's (N, P)
+  /// instance already bound in the runtime's two-level plan cache (one
+  /// lookup per plan-slot compile, counted at the producing site on the
+  /// controlling thread, so the count is invariant across backends and
+  /// the fusion / fast-path / kernel toggles). Stays 0 under
+  /// RunOptions::concrete_plans.
+  std::uint64_t plan_cache_hits = 0;
+  /// Plan-slot compilations that found no bound instance for their
+  /// shapes (each is followed by a symbolic instantiation). Stays 0
+  /// under RunOptions::concrete_plans.
+  std::uint64_t plan_cache_misses = 0;
+  /// Concrete RedistPlanV2 instances built by binding a symbolic plan at
+  /// (N, P) — one per cache miss; rises again when a dropped instance is
+  /// re-bound after plan-slot eviction. Stays 0 under
+  /// RunOptions::concrete_plans.
+  std::uint64_t symbolic_instantiations = 0;
   double sim_time = 0.0;  ///< seconds under the cost model
 
   NetStats& operator+=(const NetStats& other);

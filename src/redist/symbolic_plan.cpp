@@ -1,0 +1,105 @@
+#include "redist/symbolic_plan.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace hpfc::redist {
+
+using mapping::Extent;
+using mapping::Shape;
+using mapping::SymbolicLayout;
+
+SymbolicPlan::SymbolicPlan(SymbolicLayout from, SymbolicLayout to)
+    : from_(std::move(from)), to_(std::move(to)) {
+  signature_ = from_.signature() + "->" + to_.signature();
+}
+
+SymbolicPlan::InstanceKey SymbolicPlan::key(const Shape& array_shape,
+                                            const Shape& from_procs,
+                                            const Shape& to_procs) {
+  InstanceKey key;
+  key.reserve(array_shape.extents().size() + from_procs.extents().size() +
+              to_procs.extents().size() + 2);
+  key.insert(key.end(), array_shape.extents().begin(),
+             array_shape.extents().end());
+  // Rank separators keep e.g. {2, 4 | 8} distinct from {2 | 4, 8}.
+  key.push_back(-1);
+  key.insert(key.end(), from_procs.extents().begin(),
+             from_procs.extents().end());
+  key.push_back(-1);
+  key.insert(key.end(), to_procs.extents().begin(), to_procs.extents().end());
+  return key;
+}
+
+std::shared_ptr<const PlanInstance> SymbolicPlan::find(
+    const InstanceKey& key) const {
+  const auto it = instances_.find(key);
+  return it == instances_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const PlanInstance> SymbolicPlan::instantiate(
+    const Shape& array_shape, const Shape& from_procs,
+    const Shape& to_procs) {
+  auto& slot = instances_[key(array_shape, from_procs, to_procs)];
+  if (slot) return slot;
+
+  // Ownership run sets per endpoint rank. The symbolic fast path
+  // evaluates the compiled SymbolicRuns directly; a binding that
+  // re-triggers canonicalization (degenerate shapes) or a dimension
+  // outside the parametric family goes through the instantiated concrete
+  // layout — both yield structurally identical IndexRuns.
+  const auto owned = [&](const SymbolicLayout& sym, const Shape& procs,
+                         bool for_sending) {
+    std::vector<std::vector<mapping::IndexRuns>> runs;
+    const int ranks = static_cast<int>(procs.total());
+    runs.reserve(static_cast<std::size_t>(ranks));
+    if (sym.canonical_at(array_shape, procs)) {
+      for (int r = 0; r < ranks; ++r)
+        runs.push_back(sym.owned_runs(array_shape, procs, r, for_sending));
+    } else {
+      const mapping::ConcreteLayout bound =
+          sym.instantiate(array_shape, procs);
+      for (int r = 0; r < ranks; ++r)
+        runs.push_back(bound.owned_index_runs(r, for_sending));
+    }
+    return runs;
+  };
+  const auto src_runs = owned(from_, from_procs, /*for_sending=*/true);
+  const auto dst_runs = owned(to_, to_procs, /*for_sending=*/false);
+
+  auto instance = std::make_shared<PlanInstance>();
+  instance->plan =
+      intersect_ownerships(src_runs, dst_runs, array_shape.rank());
+  instance->bytes = plan_footprint_bytes(instance->plan);
+  slot = std::move(instance);
+  return slot;
+}
+
+void SymbolicPlan::drop(const InstanceKey& key) { instances_.erase(key); }
+
+std::uint64_t SymbolicPlan::footprint_bytes() const {
+  std::uint64_t bytes = sizeof(SymbolicPlan) + signature_.capacity();
+  const auto layout_bytes = [](const SymbolicLayout& sym) {
+    std::uint64_t total = 0;
+    total += sym.dims().size() * sizeof(mapping::SymbolicDim);
+    for (int p = 0; p < sym.grid_rank(); ++p)
+      if (const mapping::SymbolicRuns* runs = sym.runs_of(p))
+        total += sizeof(mapping::SymbolicRuns) +
+                 runs->runs.size() * sizeof(mapping::SymbolicRun);
+    return total;
+  };
+  return bytes + layout_bytes(from_) + layout_bytes(to_);
+}
+
+std::uint64_t plan_footprint_bytes(const RedistPlanV2& plan) {
+  std::uint64_t bytes = plan.transfers.capacity() * sizeof(TransferV2);
+  for (const TransferV2& t : plan.transfers) {
+    bytes += t.dim_runs.capacity() * sizeof(IndexRuns);
+    for (const IndexRuns& r : t.dim_runs)
+      bytes += r.runs().capacity() * sizeof(mapping::IndexRun);
+  }
+  return bytes;
+}
+
+}  // namespace hpfc::redist

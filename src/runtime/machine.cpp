@@ -3,15 +3,18 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <optional>
 #include <random>
 #include <sstream>
 
 #include "exec/backend.hpp"
+#include "mapping/symbolic.hpp"
 #include "redist/commsets.hpp"
 #include "redist/fused.hpp"
 #include "redist/kernelgen.hpp"
 #include "redist/segments.hpp"
+#include "redist/symbolic_plan.hpp"
 #include "support/check.hpp"
 #include "support/strings.hpp"
 
@@ -77,8 +80,15 @@ struct PlanSlot {
   std::vector<std::vector<double>> payload_pool;
   /// Recycled outbox/inbox skeleton (outer and inner vector capacities).
   std::vector<std::vector<net::Message>> mailbox_pool;
+  /// The symbolic plan instance this slot compiled from (nullptr for
+  /// unabstractable pairs and under RunOptions::concrete_plans). Instances
+  /// are shared across slots; the machine refcounts their footprint so a
+  /// shared instance is charged once and survives until its last slot is
+  /// evicted.
+  std::shared_ptr<const redist::PlanInstance> instance;
   /// Heap footprint of the compiled programs + kernels, charged against
-  /// the memory limit (plan slots are evictable like array copies).
+  /// the memory limit (plan slots are evictable like array copies). The
+  /// shared instance's bytes are accounted separately (refcounted).
   std::uint64_t plan_bytes = 0;
 };
 
@@ -164,6 +174,9 @@ class Machine {
                   -1);
     plan_slots_.resize(
         code_ != nullptr ? static_cast<std::size_t>(code_->plan_slots) : 0);
+    families_.resize(code_ != nullptr
+                         ? static_cast<std::size_t>(code_->plan_family_count)
+                         : 0);
     partials_.assign(static_cast<std::size_t>(backend_->ranks()), 0);
     copy_tallies_.assign(static_cast<std::size_t>(backend_->ranks()),
                          CopyTally{});
@@ -435,6 +448,10 @@ class Machine {
 
   void drop_plan_slot(std::size_t s) {
     bytes_in_use_ -= plan_slots_[s].plan_bytes;
+    // The slot's reference on its shared symbolic instance goes with it;
+    // the instance itself is only un-charged when the last slot using it
+    // is dropped (release_instance refcounts).
+    release_instance(plan_slots_[s].instance);
     plan_slots_[s] = PlanSlot{};
     // Cached fused rounds borrow pointers into their member plan slots'
     // programs and kernels; invalidate every round that references this
@@ -749,24 +766,40 @@ class Machine {
 
     const ConcreteLayout& from = layout(a, src);
     const ConcreteLayout& to = layout(a, dst);
-    redist::RedistPlanV2 plan = redist::build_runs(from, to);
+    // Two-level plan cache: serve the slot from its symbolic family's
+    // bound (N, P) instance when codegen assigned one, falling back to
+    // the concrete builder — the differential oracle — for unabstractable
+    // pairs and under the concrete_plans A/B toggle. Both paths intersect
+    // the same ownership run sets, so the plan is byte-identical.
+    const int family = family_of_slot(plan_slot);
+    redist::RedistPlanV2 local_plan;
+    if (family >= 0 && !options_.concrete_plans)
+      slot.instance = acquire_instance(family, from, to);
+    else
+      local_plan = redist::build_runs(from, to);
+    const redist::RedistPlanV2& plan =
+        slot.instance != nullptr ? slot.instance->plan : local_plan;
     slot.programs.reserve(plan.transfers.size());
     // Owned run sets are shared across a rank's transfers: one per
     // endpoint rank, never per element.
     std::map<int, std::vector<mapping::IndexRuns>> src_owned;
     std::map<int, std::vector<mapping::IndexRuns>> dst_owned;
-    for (auto& transfer : plan.transfers) {
-      if (!region.empty() && !transfer.restrict_to(region)) continue;
-      const auto sit = src_owned
-                           .try_emplace(transfer.src,
-                                        from.owned_index_runs(transfer.src))
-                           .first;
-      const auto dit = dst_owned
-                           .try_emplace(transfer.dst,
-                                        to.owned_index_runs(transfer.dst))
-                           .first;
+    for (const auto& transfer : plan.transfers) {
+      // Cached instances are shared across plan slots, so live-region
+      // refinement restricts a copy rather than the cached transfer.
+      redist::TransferV2 restricted;
+      const redist::TransferV2* t = &transfer;
+      if (!region.empty()) {
+        restricted = transfer;
+        if (!restricted.restrict_to(region)) continue;
+        t = &restricted;
+      }
+      const auto sit =
+          src_owned.try_emplace(t->src, from.owned_index_runs(t->src)).first;
+      const auto dit =
+          dst_owned.try_emplace(t->dst, to.owned_index_runs(t->dst)).first;
       slot.programs.push_back(
-          redist::compile_transfer(transfer, sit->second, dit->second));
+          redist::compile_transfer(*t, sit->second, dit->second));
     }
     slot.payload_pool.resize(slot.programs.size());
     // Specialize each compiled program into a pack/unpack kernel unless
@@ -789,6 +822,72 @@ class Machine {
       evict_plan_slots(plan_slot);
     report_.peak_bytes = std::max(report_.peak_bytes, bytes_in_use_);
     return slot;
+  }
+
+  /// The symbolic plan family serving a plan slot (codegen-assigned; -1
+  /// when the slot's layout pair does not abstract).
+  [[nodiscard]] int family_of_slot(int plan_slot) const {
+    if (code_ == nullptr ||
+        plan_slot >= static_cast<int>(code_->plan_families.size()))
+      return -1;
+    return code_->plan_families[static_cast<std::size_t>(plan_slot)];
+  }
+
+  /// Two-level plan-cache lookup for a compiling plan slot: the family's
+  /// SymbolicPlan (compiled lazily on first use; its descriptor is charged
+  /// once per machine and never dropped), then the bound (N, P) instance
+  /// for the slot's shapes. One hit-or-miss is accounted per call — the
+  /// producing site — so the counters are backend- and toggle-invariant.
+  /// The instance's run sets are charged against the memory limit once
+  /// however many slots share them (refcounted; see release_instance).
+  std::shared_ptr<const redist::PlanInstance> acquire_instance(
+      int family, const ConcreteLayout& from, const ConcreteLayout& to) {
+    auto& sym = families_[static_cast<std::size_t>(family)];
+    if (sym == nullptr) {
+      auto sym_from = mapping::SymbolicLayout::abstract(from);
+      auto sym_to = mapping::SymbolicLayout::abstract(to);
+      HPFC_ASSERT_MSG(sym_from.has_value() && sym_to.has_value(),
+                      "codegen assigned a family to an unabstractable pair");
+      sym = std::make_unique<redist::SymbolicPlan>(std::move(*sym_from),
+                                                   std::move(*sym_to));
+      bytes_in_use_ += sym->footprint_bytes();
+    }
+    const auto key = redist::SymbolicPlan::key(
+        from.array_shape(), from.proc_shape(), to.proc_shape());
+    auto instance = sym->find(key);
+    const bool hit = instance != nullptr;
+    if (!hit)
+      instance =
+          sym->instantiate(from.array_shape(), from.proc_shape(),
+                           to.proc_shape());
+    backend_->account_plan_cache(hit ? 1 : 0, hit ? 0 : 1, hit ? 0 : 1);
+    InstanceCharge& charge = instance_charges_[instance.get()];
+    if (charge.refs++ == 0) {
+      charge.family = family;
+      charge.key = key;
+      bytes_in_use_ += instance->bytes;
+    }
+    return instance;
+  }
+
+  /// Releases one plan slot's reference on a shared instance. The last
+  /// release un-charges the instance and drops it from its family's cache
+  /// so its memory is actually reclaimable; a later compile at the same
+  /// shapes re-instantiates (and re-counts a miss). Slots evicted while
+  /// other referencing slots live leave the instance bound — their
+  /// recompile is a cache hit.
+  void release_instance(
+      const std::shared_ptr<const redist::PlanInstance>& instance) {
+    if (instance == nullptr) return;
+    const auto it = instance_charges_.find(instance.get());
+    HPFC_ASSERT_MSG(it != instance_charges_.end(),
+                    "released an instance that was never charged");
+    if (--it->second.refs == 0) {
+      bytes_in_use_ -= instance->bytes;
+      families_[static_cast<std::size_t>(it->second.family)]->drop(
+          it->second.key);
+      instance_charges_.erase(it);
+    }
   }
 
   // ---- fused copy groups -------------------------------------------------
@@ -1173,6 +1272,21 @@ class Machine {
   /// Compiled transfer programs + pooled buffers per static copy site
   /// (codegen plan slot).
   std::vector<PlanSlot> plan_slots_;
+  /// Level 1 of the two-level plan cache: one lazily compiled SymbolicPlan
+  /// per codegen family id (see RuntimeProgram::plan_families). Descriptors
+  /// are charged once and never dropped; their (N, P) instances live in
+  /// each plan's own cache and are refcounted below.
+  std::vector<std::unique_ptr<redist::SymbolicPlan>> families_;
+  /// Footprint refcount per live shared instance (keyed by its address —
+  /// instances are uniquely owned by their family cache while bound): the
+  /// instance's bytes are charged on 0 -> 1 and released — and the
+  /// instance dropped from its family — on the last release.
+  struct InstanceCharge {
+    int refs = 0;
+    int family = -1;
+    redist::SymbolicPlan::InstanceKey key;
+  };
+  std::map<const void*, InstanceCharge> instance_charges_;
   /// Copy-group deferral state: the open round's id and members, the
   /// frees held until its flush, and the cached fused rounds keyed by
   /// fired plan-slot sequence (key_scratch_ avoids a per-flush rebuild

@@ -72,6 +72,16 @@ struct RunOptions {
   /// differential oracle of the kernel layer — see docs/kernels.md. For
   /// tests and A/B measurements.
   bool interpret_kernels = false;
+  /// Bypass the symbolic plan cache and build every plan slot's
+  /// redistribution plan directly from the concrete layouts
+  /// (redist::build_runs), as the runtime did historically. Plans are
+  /// byte-identical either way — both paths intersect the same ownership
+  /// run sets — so results and every NetStats counter except
+  /// plan_cache_hits / plan_cache_misses / symbolic_instantiations are
+  /// unchanged (those three stay 0). The concrete builder is the
+  /// differential oracle of the symbolic plan layer — see
+  /// tests/test_symbolic.cpp. For tests and A/B measurements.
+  bool concrete_plans = false;
 };
 
 struct RunReport {

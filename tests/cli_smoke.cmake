@@ -84,6 +84,7 @@ foreach(level O0 O1 O2)
 endforeach()
 foreach(field copies_performed elements_copied messages bytes segments
         supersteps fused_copies specialized_kernels specialized_dispatches
+        plan_cache_hits plan_cache_misses symbolic_instantiations
         plan_evictions packed_bytes local_fastpath_copies
         skipped_already_mapped skipped_live_copy)
   if(NOT report MATCHES "\"${field}\": [0-9]+")
@@ -95,6 +96,12 @@ endforeach()
 if(report MATCHES "\"specialized_kernels\": 0[,}]")
   message(FATAL_ERROR
     "cli_smoke: default run installed no specialized kernels:\n${report}")
+endif()
+# The default path serves plan slots from the symbolic plan cache: every
+# executed level binds at least one (N, P) instance.
+if(report MATCHES "\"plan_cache_misses\": 0[,}]")
+  message(FATAL_ERROR
+    "cli_smoke: default run never touched the symbolic plan cache:\n${report}")
 endif()
 if(report MATCHES "\"oracle_match\": false")
   message(FATAL_ERROR "cli_smoke: report JSON records an oracle mismatch:\n${report}")
@@ -140,7 +147,8 @@ if(NOT thread_report MATCHES "\"backend\": \"thread\"")
 endif()
 foreach(field copies_performed elements_copied messages bytes local_copies
         segments supersteps fused_copies specialized_kernels
-        specialized_dispatches plan_evictions packed_bytes
+        specialized_dispatches plan_cache_hits plan_cache_misses
+        symbolic_instantiations plan_evictions packed_bytes
         local_fastpath_copies skipped_already_mapped skipped_live_copy)
   string(REGEX MATCHALL "\"${field}\": [0-9]+" seq_counts "${report}")
   string(REGEX MATCHALL "\"${field}\": [0-9]+" thread_counts "${thread_report}")
@@ -177,7 +185,8 @@ if(NOT interp_report MATCHES "\"specialized_kernels\": 0[,}]")
     "cli_smoke: --interpret-kernels still installed kernels:\n${interp_report}")
 endif()
 foreach(field copies_performed elements_copied messages bytes local_copies
-        segments supersteps fused_copies plan_evictions packed_bytes
+        segments supersteps fused_copies plan_cache_hits plan_cache_misses
+        symbolic_instantiations plan_evictions packed_bytes
         local_fastpath_copies skipped_already_mapped skipped_live_copy)
   string(REGEX MATCHALL "\"${field}\": [0-9]+" seq_counts "${report}")
   string(REGEX MATCHALL "\"${field}\": [0-9]+" interp_counts "${interp_report}")
@@ -188,6 +197,51 @@ foreach(field copies_performed elements_copied messages bytes local_copies
   endif()
 endforeach()
 
+# The concrete plan builder (--concrete-plans) is the symbolic layer's
+# differential oracle: every counter except the plan-cache triple must
+# match the default run exactly, and the triple must read 0.
+set(concrete_report_json "${_bin_dir}/cli_smoke_report_concrete.json")
+file(REMOVE "${concrete_report_json}")
+execute_process(
+  COMMAND "${HPFC_BIN}" "${HPFC_SOURCE_DIR}/examples/quickstart.hpf"
+          --run --compare --concrete-plans
+          --report-json=${concrete_report_json}
+  OUTPUT_VARIABLE concrete_out
+  ERROR_VARIABLE concrete_err
+  RESULT_VARIABLE concrete_status)
+if(NOT concrete_status EQUAL 0)
+  message(FATAL_ERROR "cli_smoke: hpfc --concrete-plans exited with "
+    "${concrete_status}\nstdout:\n${concrete_out}\nstderr:\n${concrete_err}")
+endif()
+if(concrete_out MATCHES "MISMATCH")
+  message(FATAL_ERROR
+    "cli_smoke: concrete-plan path diverged from the oracle:\n${concrete_out}")
+endif()
+file(READ "${concrete_report_json}" concrete_report)
+foreach(field plan_cache_hits plan_cache_misses symbolic_instantiations)
+  string(REGEX MATCHALL "\"${field}\": [0-9]+" zeros "${concrete_report}")
+  foreach(entry IN LISTS zeros)
+    if(NOT entry MATCHES ": 0$")
+      message(FATAL_ERROR
+        "cli_smoke: --concrete-plans still touched the symbolic cache "
+        "(${entry}):\n${concrete_report}")
+    endif()
+  endforeach()
+endforeach()
+foreach(field copies_performed elements_copied messages bytes local_copies
+        segments supersteps fused_copies specialized_kernels
+        specialized_dispatches plan_evictions packed_bytes
+        local_fastpath_copies skipped_already_mapped skipped_live_copy)
+  string(REGEX MATCHALL "\"${field}\": [0-9]+" seq_counts "${report}")
+  string(REGEX MATCHALL "\"${field}\": [0-9]+" concrete_counts "${concrete_report}")
+  if(NOT seq_counts STREQUAL concrete_counts)
+    message(FATAL_ERROR
+      "cli_smoke: ${field} differs across the plan toggle\n"
+      "symbolic: ${seq_counts}\nconcrete: ${concrete_counts}")
+  endif()
+endforeach()
+
 message(STATUS
   "cli_smoke: OK (O0 copied ${o0_elems} elems, O2 copied ${o2_elems}, "
-  "seq/thread backends and the kernel toggle agree, report at ${report_json})")
+  "seq/thread backends and the kernel and plan toggles agree, "
+  "report at ${report_json})")

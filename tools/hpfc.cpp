@@ -16,6 +16,10 @@
 //   --interpret-kernels run transfers through the interpreted segment
 //                       walker instead of the specialized kernels (the
 //                       A/B oracle toggle; see docs/kernels.md)
+//   --concrete-plans    build every plan slot's redistribution plan from
+//                       the concrete layouts instead of the symbolic plan
+//                       cache (the A/B oracle toggle of the symbolic
+//                       layer; only the plan-cache counters move)
 //   --validate          run the Theorem 1 validator
 //   --report-json=PATH  dump the per-level RunReport counters as JSON
 #include <fstream>
@@ -46,6 +50,7 @@ struct Options {
   hpfc::exec::BackendKind backend = hpfc::exec::BackendKind::Seq;
   int threads = 0;
   bool interpret_kernels = false;
+  bool concrete_plans = false;
   std::string report_json;
 };
 
@@ -64,7 +69,7 @@ int usage() {
          " [--validate]\n"
          "            [--backend=seq|thread] [--threads=N]"
          " [--interpret-kernels]\n"
-         "            [--report-json=PATH]\n";
+         "            [--concrete-plans] [--report-json=PATH]\n";
   return 2;
 }
 
@@ -79,6 +84,7 @@ bool parse_args(int argc, char** argv, Options& options) {
     else if (arg == "--compare") options.compare = true;
     else if (arg == "--validate") options.validate = true;
     else if (arg == "--interpret-kernels") options.interpret_kernels = true;
+    else if (arg == "--concrete-plans") options.concrete_plans = true;
     else if (arg.rfind("--opt=", 0) == 0) {
       const std::string level = arg.substr(6);
       if (level == "O0") options.level = driver::OptLevel::O0;
@@ -160,6 +166,10 @@ bool write_report_json(const Options& options,
         << ", \"specialized_kernels\": " << l.report.net.specialized_kernels
         << ", \"specialized_dispatches\": "
         << l.report.net.specialized_dispatches
+        << ", \"plan_cache_hits\": " << l.report.net.plan_cache_hits
+        << ", \"plan_cache_misses\": " << l.report.net.plan_cache_misses
+        << ", \"symbolic_instantiations\": "
+        << l.report.net.symbolic_instantiations
         << ", \"plan_evictions\": " << l.report.plan_evictions
         << ", \"packed_bytes\": " << l.report.packed_bytes
         << ", \"local_fastpath_copies\": " << l.report.local_fastpath_copies
@@ -213,6 +223,7 @@ int run_level(const std::string& source, const Options& options,
     run_options.backend = options.backend;
     run_options.threads = options.threads;
     run_options.interpret_kernels = options.interpret_kernels;
+    run_options.concrete_plans = options.concrete_plans;
     const auto oracle = driver::run_oracle(compiled, run_options);
     const auto report = driver::run(compiled, run_options);
     const bool matches = report.signature == oracle.signature &&
