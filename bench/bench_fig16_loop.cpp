@@ -18,6 +18,12 @@ void report(Harness& h) {
     h.measure("fig16", "t=" + std::to_string(trips),
               [=] { return fig16(4096, 4, trips); });
   }
+  // Communication-dominated configuration: large payloads over few
+  // iterations, so exchange traffic (not guard bookkeeping) dominates
+  // the wall clock. This is the row `check_bench_regression
+  // --calibration` holds against the fitted cost model: calibrated
+  // sim_time_ms must land within 3x of the proc backend's exec_ms.
+  h.measure("fig16", "t=8 n=65536", [=] { return fig16(65536, 4, 8); });
   note("O0 copies grow as 2t; O2 stays flat (1 copy + live reuse) with "
        "t-1 status-check hits — the crossover is immediate at t >= 1");
 }

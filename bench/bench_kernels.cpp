@@ -121,7 +121,7 @@ void report(Harness& h) {
     RunReport rep[2];
     double best_exec_ms[2];
     for (int leg = 0; leg < 2; ++leg) {
-      options[leg].seed = h.options().seed;
+      options[leg].seed = h.options().run.seed;
       options[leg].interpret_kernels = (leg == 1);
       (void)hpfc::driver::run(compiled, options[leg]);  // warm-up
       rep[leg] = hpfc::driver::run(compiled, options[leg]);

@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
          {hpfc::exec::BackendKind::Seq, hpfc::exec::BackendKind::Thread}) {
       for (const bool interpret : {false, true}) {
         hpfc::runtime::RunOptions options;
-        options.seed = harness.options().seed;
+        options.seed = harness.options().run.seed;
         options.backend = backend;
         options.threads = 8;
         options.interpret_kernels = interpret;
@@ -129,7 +129,7 @@ int main(int argc, char** argv) {
     // One oracle run covers every leg: the oracle always executes
     // sequentially, independent of backend and fusion toggles.
     hpfc::runtime::RunOptions multi_options;
-    multi_options.seed = harness.options().seed;
+    multi_options.seed = harness.options().run.seed;
     const auto oracle = hpfc::driver::run_oracle(multi, multi_options);
     for (const auto backend :
          {hpfc::exec::BackendKind::Seq, hpfc::exec::BackendKind::Thread}) {

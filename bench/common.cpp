@@ -9,6 +9,9 @@
 #include <sstream>
 #include <utility>
 
+#include "runtime/toggles.hpp"
+#include "support/cli.hpp"
+
 namespace bench_common {
 
 using hpfc::DiagnosticEngine;
@@ -132,6 +135,9 @@ LevelMetrics metrics_from(const std::string& level, const RunReport& report,
   metrics.symbolic_instantiations = report.net.symbolic_instantiations;
   metrics.skipped_status_guard = report.skipped_already_mapped;
   metrics.skipped_live_copy = report.skipped_live_copy;
+  metrics.wire_bytes = report.wire_bytes;
+  metrics.wire_msgs = report.wire_msgs;
+  metrics.proc_spawns = report.proc_spawns;
   metrics.sim_time_ms = report.net.sim_time * 1e3;
   metrics.exec_ms = report.exec_ms;
   metrics.compile_wall_ms = compile_wall_ms;
@@ -148,34 +154,39 @@ void row(const std::string& label, const LevelMetrics& m) {
               m.skipped_status_guard + m.skipped_live_copy, m.sim_time_ms);
 }
 
+hpfc::runtime::RunOptions default_run_options() {
+  hpfc::runtime::RunOptions run;
+  run.seed = 7;
+  return run;
+}
+
 HarnessOptions HarnessOptions::parse(int& argc, char** argv) {
   HarnessOptions options;
+  hpfc::support::cli::RunFlags flags;
+  flags.options = options.run;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--json=", 0) == 0) {
+    switch (flags.consume(arg)) {
+      case hpfc::support::cli::Parsed::Consumed:
+        continue;
+      case hpfc::support::cli::Parsed::Error:
+        std::fprintf(stderr, "bench: %s\n", flags.error.c_str());
+        std::abort();
+      case hpfc::support::cli::Parsed::Unrecognized:
+        break;
+    }
+    if (arg == "--list-toggles") {
+      std::fputs(hpfc::support::cli::toggle_table().c_str(), stdout);
+      std::exit(0);
+    } else if (arg.rfind("--json=", 0) == 0) {
       options.json_path = arg.substr(7);
     } else if (arg.rfind("--reps=", 0) == 0) {
       options.reps = std::max(1, std::atoi(arg.c_str() + 7));
     } else if (arg.rfind("--warmup=", 0) == 0) {
       options.warmup = std::max(0, std::atoi(arg.c_str() + 9));
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      options.seed = static_cast<unsigned>(std::strtoul(arg.c_str() + 7,
-                                                        nullptr, 10));
-    } else if (arg.rfind("--backend=", 0) == 0) {
-      const auto kind = hpfc::exec::parse_backend_kind(arg.substr(10));
-      if (!kind.has_value()) {
-        std::fprintf(stderr, "bench: unknown backend '%s' (seq|thread)\n",
-                     arg.c_str() + 10);
-        std::abort();
-      }
-      options.backend = *kind;
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      options.threads = std::atoi(arg.c_str() + 10);
-    } else if (arg == "--interpret-kernels") {
-      options.interpret_kernels = true;
-    } else if (arg == "--concrete-plans") {
-      options.concrete_plans = true;
+    } else if (arg == "--calibrate") {
+      options.calibrate = true;
     } else if (arg == "--no-gbench") {
       options.run_google_benchmarks = false;
     } else {
@@ -184,6 +195,7 @@ HarnessOptions HarnessOptions::parse(int& argc, char** argv) {
   }
   argc = out;
   argv[argc] = nullptr;
+  options.run = flags.options;
   return options;
 }
 
@@ -199,12 +211,8 @@ FigureRecord& Harness::entry(const std::string& figure,
 }
 
 hpfc::runtime::RunOptions Harness::run_options(unsigned seed) const {
-  hpfc::runtime::RunOptions run_options;
-  run_options.seed = seed == 0 ? options_.seed : seed;
-  run_options.backend = options_.backend;
-  run_options.threads = options_.threads;
-  run_options.interpret_kernels = options_.interpret_kernels;
-  run_options.concrete_plans = options_.concrete_plans;
+  hpfc::runtime::RunOptions run_options = options_.run;
+  if (seed != 0) run_options.seed = seed;
   return run_options;
 }
 
@@ -253,7 +261,7 @@ LevelMetrics Harness::measure_level(const Factory& factory, OptLevel level,
 void Harness::measure(const std::string& figure, const std::string& config,
                       const Factory& factory, std::vector<OptLevel> levels,
                       unsigned seed) {
-  if (seed == 0) seed = options_.seed;
+  if (seed == 0) seed = options_.run.seed;
   FigureRecord& record = entry(figure, config);
   for (const OptLevel level : levels) {
     LevelMetrics metrics = measure_level(factory, level, seed);
@@ -294,10 +302,28 @@ bool Harness::write_json() const {
   os << "\",\n";
   os << "  \"reps\": " << options_.reps << ",\n";
   os << "  \"warmup\": " << options_.warmup << ",\n";
-  os << "  \"seed\": " << options_.seed << ",\n";
-  os << "  \"backend\": \"" << hpfc::exec::to_string(options_.backend)
+  os << "  \"seed\": " << options_.run.seed << ",\n";
+  os << "  \"backend\": \"" << hpfc::exec::to_string(options_.run.backend)
      << "\",\n";
-  os << "  \"threads\": " << options_.threads << ",\n";
+  os << "  \"threads\": " << options_.run.threads << ",\n";
+  // Registry-driven toggle states (keys are the snake_case registry
+  // spellings), so a suite's JSON records exactly which A/B switches
+  // shaped its numbers.
+  os << "  \"toggles\": {";
+  bool first_toggle = true;
+  hpfc::runtime::for_each_toggle(
+      options_.run, [&](const hpfc::runtime::Toggle& toggle, bool value) {
+        os << (first_toggle ? "" : ", ") << '"' << toggle.key
+           << "\": " << (value ? "true" : "false");
+        first_toggle = false;
+      });
+  os << "},\n";
+  if (options_.calibration.samples > 0) {
+    os << "  \"calibration\": {\"latency_s\": " << options_.calibration.latency
+       << ", \"inv_bandwidth_s_per_byte\": "
+       << options_.calibration.inv_bandwidth
+       << ", \"samples\": " << options_.calibration.samples << "},\n";
+  }
   os << "  \"figures\": [";
   bool first_figure = true;
   for (const auto& record : records_) {
@@ -331,6 +357,9 @@ bool Harness::write_json() const {
          << ", \"host_allocs\": " << m.host_allocs
          << ", \"skipped_status_guard\": " << m.skipped_status_guard
          << ", \"skipped_live_copy\": " << m.skipped_live_copy
+         << ", \"wire_bytes\": " << m.wire_bytes
+         << ", \"wire_msgs\": " << m.wire_msgs
+         << ", \"proc_spawns\": " << m.proc_spawns
          << ", \"sim_time_ms\": " << m.sim_time_ms
          << ", \"exec_ms\": " << m.exec_ms
          << ", \"compile_wall_ms\": " << m.compile_wall_ms
@@ -353,6 +382,22 @@ bool Harness::write_json() const {
 int bench_main(int argc, char** argv, const std::string& bench_name,
                const std::function<void(Harness&)>& body) {
   HarnessOptions options = HarnessOptions::parse(argc, argv);
+  if (options.calibrate) {
+    try {
+      options.calibration = hpfc::exec::calibrate_wire(
+          /*ranks=*/4, hpfc::exec::ProcConfig{options.run.proc_tcp,
+                                              options.run.proc_timeout_ms});
+    } catch (const std::exception& err) {
+      std::fprintf(stderr, "bench: calibration failed: %s\n", err.what());
+      return 1;
+    }
+    options.run.cost = options.calibration.cost_model();
+    std::printf("calibrated: alpha = %.3f us/msg, beta = %.4f ns/byte "
+                "(%d samples)\n",
+                options.calibration.latency * 1e6,
+                options.calibration.inv_bandwidth * 1e9,
+                options.calibration.samples);
+  }
   Harness harness(bench_name, options);
   body(harness);
   if (!harness.write_json()) return 1;

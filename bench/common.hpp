@@ -13,6 +13,7 @@
 
 #include "driver/compiler.hpp"
 #include "exec/backend.hpp"
+#include "exec/proc_backend.hpp"
 #include "hpf/builder.hpp"
 
 namespace bench_common {
@@ -87,6 +88,13 @@ struct LevelMetrics {
   std::uint64_t host_allocs = 0;
   int skipped_status_guard = 0;          ///< guard found array well-mapped
   int skipped_live_copy = 0;             ///< guard reused a live copy
+  /// Real-socket traffic (proc backend only; zero otherwise). Outside
+  /// the `--identical` comparison set: NetStats are byte-identical
+  /// across backends, wire traffic exists only when payloads physically
+  /// cross a process boundary.
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t wire_msgs = 0;
+  std::uint64_t proc_spawns = 0;
   double sim_time_ms = 0.0;              ///< simulated machine time
   /// Host wall-clock time of the machine execution itself, as measured
   /// inside the runtime (median over repetitions): the number that drops
@@ -112,30 +120,36 @@ struct FigureRecord {
   std::vector<LevelMetrics> levels;
 };
 
+/// RunOptions with the bench harness defaults (seed 7, the historical
+/// CLI default — RunOptions itself defaults to 1).
+hpfc::runtime::RunOptions default_run_options();
+
 /// Harness options parsed from the command line.  Recognized flags are
 /// removed from argv so the remainder can still go to Google Benchmark.
+///
+/// The machine flags (--backend=seq|thread|proc, --threads, --ranks,
+/// --seed, --proc-timeout-ms) and every registered A/B toggle
+/// (--force-message-path, --unfuse-copy-groups, --interpret-kernels,
+/// --concrete-plans, --paranoid, --proc-tcp) come from the shared
+/// support::cli surface and land in `run`; `--list-toggles` prints the
+/// registry table and exits.  Harness-specific flags:
 ///
 ///   --json=PATH   write the collected metrics as JSON to PATH
 ///   --reps=N      timed repetitions per measurement (default 3)
 ///   --warmup=N    untimed warm-up repetitions per measurement (default 1)
-///   --seed=N      branch-decision seed for the simulated runs (default 7)
-///   --backend=seq|thread  execution backend for the simulated runs
-///   --threads=N   worker threads for --backend=thread (0 = auto)
-///   --interpret-kernels  run transfers through the interpreted segment
-///                 walker instead of the specialized kernels (the A/B
-///                 oracle toggle; see docs/kernels.md)
-///   --concrete-plans  build plan slots from the concrete layouts instead
-///                 of the symbolic plan cache (the A/B oracle toggle of
-///                 the symbolic layer; see docs/ARCHITECTURE.md)
+///   --calibrate   fit the cost model's alpha/beta from measured
+///                 proc-backend round-trips before any measurement, and
+///                 record the constants in the JSON output
 ///   --no-gbench   skip the Google Benchmark micro-benchmarks
 struct HarnessOptions {
   int reps = 3;
   int warmup = 1;
-  unsigned seed = 7;
-  hpfc::exec::BackendKind backend = hpfc::exec::BackendKind::Seq;
-  int threads = 0;
-  bool interpret_kernels = false;
-  bool concrete_plans = false;
+  /// The simulated-run configuration every measurement uses (seed,
+  /// backend, threads, ranks, and all registered toggles).
+  hpfc::runtime::RunOptions run = default_run_options();
+  bool calibrate = false;
+  /// Fitted constants when --calibrate ran (samples > 0 marks validity).
+  hpfc::exec::Calibration calibration;
   std::string json_path;
   bool run_google_benchmarks = true;
 

@@ -12,6 +12,8 @@ const char* to_string(BackendKind kind) {
       return "seq";
     case BackendKind::Thread:
       return "thread";
+    case BackendKind::Proc:
+      return "proc";
   }
   return "?";
 }
@@ -19,6 +21,7 @@ const char* to_string(BackendKind kind) {
 std::optional<BackendKind> parse_backend_kind(std::string_view name) {
   if (name == "seq") return BackendKind::Seq;
   if (name == "thread") return BackendKind::Thread;
+  if (name == "proc") return BackendKind::Proc;
   return std::nullopt;
 }
 
@@ -60,14 +63,19 @@ class SeqBackend final : public Backend {
 
 std::unique_ptr<Backend> make_thread_backend(int ranks, net::CostModel cost,
                                              int threads);
+std::unique_ptr<Backend> make_proc_backend(int ranks, net::CostModel cost,
+                                           ProcConfig config);
 
 std::unique_ptr<Backend> make_backend(BackendKind kind, int ranks,
-                                      net::CostModel cost, int threads) {
+                                      net::CostModel cost, int threads,
+                                      ProcConfig proc) {
   switch (kind) {
     case BackendKind::Seq:
       return std::make_unique<SeqBackend>(ranks, cost);
     case BackendKind::Thread:
       return make_thread_backend(ranks, cost, threads);
+    case BackendKind::Proc:
+      return make_proc_backend(ranks, cost, proc);
   }
   HPFC_ASSERT_MSG(false, "unknown backend kind");
   return nullptr;

@@ -9,15 +9,19 @@
 // performs one superstep of all-to-all personalized communication with
 // deterministic (src, emission-order) inbox ordering.
 //
-// Two implementations exist:
+// Three implementations exist:
 //   SeqBackend    the original sequential BSP loop (rank 0..P-1 in turn).
 //   ThreadBackend one persistent worker per rank (a pool of
 //                 min(threads, ranks) workers when P exceeds the host),
 //                 rank-owned mailboxes, and a fork-join barrier protocol.
+//   ProcBackend   one forked worker process per rank; exchange() ships
+//                 the framed payloads through a real socket mesh
+//                 (exec/proc_backend.hpp).
 //
-// Both produce byte-identical NetStats and identical inbox ordering, so
+// All produce byte-identical NetStats and identical inbox ordering, so
 // the differential oracle and the bench regression checks hold across
-// backends; only wall-clock time differs.
+// backends; only wall-clock time (and, for proc, the wire counters)
+// differs.
 #pragma once
 
 #include <memory>
@@ -35,12 +39,42 @@ namespace hpfc::exec {
 enum class BackendKind {
   Seq,     ///< sequential BSP loop, zero threading overhead
   Thread,  ///< thread-per-rank SPMD (pooled when ranks > workers)
+  Proc,    ///< process-per-rank with a real socket mesh for exchanges
 };
 
 [[nodiscard]] const char* to_string(BackendKind kind);
-/// Parses "seq" / "thread"; nullopt on anything else.
+/// Parses "seq" / "thread" / "proc"; nullopt on anything else.
 [[nodiscard]] std::optional<BackendKind> parse_backend_kind(
     std::string_view name);
+
+/// Configuration for BackendKind::Proc; ignored by the other backends.
+struct ProcConfig {
+  /// Use TCP loopback connections instead of AF_UNIX socketpairs (the
+  /// same frames flow either way; an environment A/B knob).
+  bool tcp = false;
+  /// Deadline for every socket operation, in milliseconds: bounds how
+  /// long a dead or wedged worker can stall an exchange before the run
+  /// fails with a diagnostic instead of hanging.
+  int timeout_ms = 10000;
+};
+
+/// Real-socket traffic counters, filled by ProcBackend and zero for the
+/// in-process backends. Deliberately NOT part of net::NetStats: NetStats
+/// is byte-identical across backends (the determinism contract asserted
+/// by tests and `check_bench_regression --identical`), while wire traffic
+/// only exists when payloads physically cross a process boundary.
+struct WireStats {
+  /// Framed bytes written to real sockets (headers + bodies, every hop:
+  /// controller->worker, worker->worker, worker->controller).
+  std::uint64_t wire_bytes = 0;
+  /// net::Messages serialized onto a real socket, counted once per hop
+  /// (a remote message travels three hops, a self-message two).
+  std::uint64_t wire_msgs = 0;
+  /// Worker processes forked over the backend's lifetime.
+  std::uint64_t proc_spawns = 0;
+
+  friend bool operator==(const WireStats&, const WireStats&) = default;
+};
 
 /// Rank-local work executed inside a backend's rank context.  The closure
 /// must touch only rank-owned state (the rank's local memory, its slot of
@@ -82,6 +116,8 @@ class Backend {
   /// Host threads executing rank work (1 for SeqBackend).
   [[nodiscard]] virtual int workers() const = 0;
   [[nodiscard]] const net::NetStats& stats() const { return stats_; }
+  /// Real-socket traffic (zero for every backend but Proc).
+  [[nodiscard]] const WireStats& wire() const { return wire_; }
   [[nodiscard]] const net::CostModel& cost_model() const { return cost_; }
   void reset_stats() { stats_ = {}; }
 
@@ -158,13 +194,15 @@ class Backend {
   int ranks_;
   net::CostModel cost_;
   net::NetStats stats_;
+  WireStats wire_;
 };
 
 /// Creates a backend. `threads` applies to BackendKind::Thread only:
 /// the worker count, clamped to [1, ranks]; 0 picks
-/// min(ranks, hardware_concurrency).
+/// min(ranks, hardware_concurrency). `proc` applies to BackendKind::Proc
+/// only (socket flavour and operation deadline).
 std::unique_ptr<Backend> make_backend(BackendKind kind, int ranks,
                                       net::CostModel cost = {},
-                                      int threads = 0);
+                                      int threads = 0, ProcConfig proc = {});
 
 }  // namespace hpfc::exec

@@ -1,0 +1,311 @@
+#include "net/wire.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace hpfc::net::wire {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x48504657;  // "HPFW"
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void wire_fail(const std::string& what, const std::string& why) {
+  throw WireError("wire: " + what + ": " + why);
+}
+
+/// Milliseconds left before `deadline`; -1 when there is no deadline.
+int remaining_ms(bool bounded, Clock::time_point deadline) {
+  if (!bounded) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+void await(int fd, short events, bool bounded, Clock::time_point deadline,
+           const std::string& what) {
+  pollfd pfd{fd, events, 0};
+  for (;;) {
+    const int left = remaining_ms(bounded, deadline);
+    if (bounded && left == 0) wire_fail(what, "timed out");
+    const int ready = ::poll(&pfd, 1, left);
+    if (ready > 0) return;  // readable/writable, or HUP/ERR -> next I/O op
+    if (ready == 0) wire_fail(what, "timed out");
+    if (errno != EINTR) wire_fail(what, std::strerror(errno));
+  }
+}
+
+void append_bytes(std::vector<std::uint8_t>& out, const void* data,
+                  std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  out.insert(out.end(), bytes, bytes + size);
+}
+
+template <typename T>
+void append_value(std::vector<std::uint8_t>& out, T value) {
+  append_bytes(out, &value, sizeof(T));
+}
+
+template <typename T>
+T read_value(std::span<const std::uint8_t>& in, const char* what) {
+  if (in.size() < sizeof(T)) wire_fail(what, "truncated frame body");
+  T value;
+  std::memcpy(&value, in.data(), sizeof(T));
+  in = in.subspan(sizeof(T));
+  return value;
+}
+
+void set_nonblocking(int fd) {
+  // O_NONBLOCK via fcntl, so poll-driven loops never wedge in a syscall.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  HPFC_ASSERT_MSG(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                  "cannot make socket non-blocking");
+}
+
+std::pair<Socket, Socket> make_unix_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+    wire_fail("socketpair", std::strerror(errno));
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+std::pair<Socket, Socket> make_tcp_pair() {
+  Socket listener(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!listener.valid()) wire_fail("socket", std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listener.fd(), reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    wire_fail("bind", std::strerror(errno));
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0)
+    wire_fail("getsockname", std::strerror(errno));
+  if (::listen(listener.fd(), 1) != 0)
+    wire_fail("listen", std::strerror(errno));
+
+  Socket client(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!client.valid()) wire_fail("socket", std::strerror(errno));
+  if (::connect(client.fd(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    wire_fail("connect", std::strerror(errno));
+  Socket server(::accept(listener.fd(), nullptr, nullptr));
+  if (!server.valid()) wire_fail("accept", std::strerror(errno));
+  const int one = 1;
+  (void)::setsockopt(client.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  (void)::setsockopt(server.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return {std::move(client), std::move(server)};
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<Socket, Socket> make_stream_pair(bool tcp) {
+  auto pair = tcp ? make_tcp_pair() : make_unix_pair();
+  set_nonblocking(pair.first.fd());
+  set_nonblocking(pair.second.fd());
+  return pair;
+}
+
+std::uint64_t checksum_bytes(std::span<const std::uint8_t> data) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const std::uint8_t byte : data) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+namespace {
+
+void append_header(std::vector<std::uint8_t>& out, FrameKind kind, int src,
+                   std::span<const std::uint8_t> body) {
+  append_value<std::uint32_t>(out, kMagic);
+  append_value<std::uint16_t>(out, static_cast<std::uint16_t>(kind));
+  append_value<std::uint16_t>(out, static_cast<std::uint16_t>(src));
+  append_value<std::uint64_t>(out, body.size());
+  append_value<std::uint64_t>(out, checksum_bytes(body));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(FrameKind kind, int src,
+                                       std::span<const Message> messages,
+                                       const Tally& reported) {
+  std::vector<std::uint8_t> body;
+  append_value<std::uint64_t>(body, reported.bytes);
+  append_value<std::uint64_t>(body, reported.msgs);
+  append_value<std::uint32_t>(body,
+                              static_cast<std::uint32_t>(messages.size()));
+  for (const Message& msg : messages) {
+    append_value<std::int32_t>(body, msg.src);
+    append_value<std::int32_t>(body, msg.dst);
+    append_value<std::int32_t>(body, msg.tag);
+    append_value<std::int32_t>(body, msg.segments);
+    append_value<std::uint64_t>(body, msg.payload.size());
+    append_bytes(body, msg.payload.data(),
+                 msg.payload.size() * sizeof(double));
+  }
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderBytes + body.size());
+  append_header(frame, kind, src, body);
+  append_bytes(frame, body.data(), body.size());
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_blob_frame(
+    FrameKind kind, int src, std::span<const std::uint8_t> blob) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderBytes + blob.size());
+  append_header(frame, kind, src, blob);
+  append_bytes(frame, blob.data(), blob.size());
+  return frame;
+}
+
+void decode_header(std::span<const std::uint8_t> header, FrameKind& kind,
+                   int& src, std::uint64_t& body_bytes,
+                   std::uint64_t& checksum) {
+  HPFC_ASSERT(header.size() == kHeaderBytes);
+  std::span<const std::uint8_t> in = header;
+  if (read_value<std::uint32_t>(in, "header") != kMagic)
+    throw WireError("wire: bad frame magic (stream out of sync?)");
+  kind = static_cast<FrameKind>(read_value<std::uint16_t>(in, "header"));
+  src = read_value<std::uint16_t>(in, "header");
+  body_bytes = read_value<std::uint64_t>(in, "header");
+  checksum = read_value<std::uint64_t>(in, "header");
+}
+
+Frame decode_body(FrameKind kind, int src,
+                  std::span<const std::uint8_t> body) {
+  Frame frame;
+  frame.kind = kind;
+  frame.src = src;
+  if (kind == FrameKind::Ping || kind == FrameKind::Pong ||
+      kind == FrameKind::Shutdown) {
+    frame.blob.assign(body.begin(), body.end());
+    return frame;
+  }
+  std::span<const std::uint8_t> in = body;
+  frame.reported.bytes = read_value<std::uint64_t>(in, "frame");
+  frame.reported.msgs = read_value<std::uint64_t>(in, "frame");
+  const auto count = read_value<std::uint32_t>(in, "frame");
+  frame.messages.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Message msg;
+    msg.src = read_value<std::int32_t>(in, "frame");
+    msg.dst = read_value<std::int32_t>(in, "frame");
+    msg.tag = read_value<std::int32_t>(in, "frame");
+    msg.segments = read_value<std::int32_t>(in, "frame");
+    const auto doubles = read_value<std::uint64_t>(in, "frame");
+    if (in.size() < doubles * sizeof(double))
+      throw WireError("wire: truncated message payload");
+    msg.payload.resize(doubles);
+    std::memcpy(msg.payload.data(), in.data(), doubles * sizeof(double));
+    in = in.subspan(doubles * sizeof(double));
+    frame.messages.push_back(std::move(msg));
+  }
+  if (!in.empty()) throw WireError("wire: trailing bytes after frame body");
+  return frame;
+}
+
+void send_all(int fd, const void* data, std::size_t size, int timeout_ms,
+              const std::string& what) {
+  const bool bounded = timeout_ms >= 0;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a dead peer must yield EPIPE, not kill the process.
+    const ssize_t n =
+        ::send(fd, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      await(fd, POLLOUT, bounded, deadline, what);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    wire_fail(what, n < 0 ? std::strerror(errno) : "peer closed");
+  }
+}
+
+void recv_all(int fd, void* data, std::size_t size, int timeout_ms,
+              const std::string& what) {
+  const bool bounded = timeout_ms >= 0;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  auto* bytes = static_cast<std::uint8_t*>(data);
+  std::size_t received = 0;
+  while (received < size) {
+    const ssize_t n = ::recv(fd, bytes + received, size - received, 0);
+    if (n > 0) {
+      received += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) wire_fail(what, "peer closed the connection");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      await(fd, POLLIN, bounded, deadline, what);
+      continue;
+    }
+    if (errno != EINTR) wire_fail(what, std::strerror(errno));
+  }
+}
+
+void send_frame(int fd, std::span<const std::uint8_t> encoded,
+                std::uint64_t msgs, int timeout_ms, const std::string& what,
+                Tally* tally) {
+  send_all(fd, encoded.data(), encoded.size(), timeout_ms, what);
+  if (tally != nullptr) {
+    tally->bytes += encoded.size();
+    tally->msgs += msgs;
+  }
+}
+
+Frame recv_frame(int fd, int timeout_ms, const std::string& what) {
+  std::uint8_t header[kHeaderBytes];
+  recv_all(fd, header, kHeaderBytes, timeout_ms, what);
+  FrameKind kind;
+  int src;
+  std::uint64_t body_bytes;
+  std::uint64_t expected;
+  decode_header(std::span<const std::uint8_t>(header, kHeaderBytes), kind,
+                src, body_bytes, expected);
+  std::vector<std::uint8_t> body(body_bytes);
+  recv_all(fd, body.data(), body.size(), timeout_ms, what);
+  if (checksum_bytes(body) != expected)
+    throw WireError("wire: " + what + ": frame checksum mismatch");
+  Frame frame = decode_body(kind, src, body);
+  frame.frame_bytes = kHeaderBytes + body.size();
+  return frame;
+}
+
+}  // namespace hpfc::net::wire

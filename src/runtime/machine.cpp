@@ -154,7 +154,8 @@ class Machine {
         // on the sequential backend regardless of the requested one.
         backend_(exec::make_backend(
             code != nullptr ? options.backend : exec::BackendKind::Seq,
-            machine_ranks(program, options), options.cost, options.threads)) {
+            machine_ranks(program, options), options.cost, options.threads,
+            exec::ProcConfig{options.proc_tcp, options.proc_timeout_ms})) {
     const std::size_t num_arrays = program_.arrays.size();
     status_.assign(num_arrays, 0);
     storage_.resize(num_arrays);
@@ -195,6 +196,9 @@ class Machine {
     report_.ranks = backend_->ranks();
     report_.backend = backend_->name();
     report_.threads = backend_->workers();
+    report_.wire_bytes = backend_->wire().wire_bytes;
+    report_.wire_msgs = backend_->wire().wire_msgs;
+    report_.proc_spawns = backend_->wire().proc_spawns;
     report_.exec_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "codegen/runtime_ops.hpp"
 #include "exec/backend.hpp"
@@ -82,6 +83,19 @@ struct RunOptions {
   /// differential oracle of the symbolic plan layer — see
   /// tests/test_symbolic.cpp. For tests and A/B measurements.
   bool concrete_plans = false;
+  /// Proc backend only: route the socket mesh over TCP loopback
+  /// connections instead of AF_UNIX socketpairs (same frames, real
+  /// network stack). An environment A/B knob.
+  bool proc_tcp = false;
+  /// Proc backend only: deadline for every socket operation in
+  /// milliseconds. Bounds how long a dead or wedged worker can stall an
+  /// exchange before the run fails with a diagnostic instead of hanging.
+  int proc_timeout_ms = 10000;
+
+  /// Sets a boolean toggle by registry name ("force-message-path" /
+  /// "force_message_path" — both spellings resolve; see
+  /// runtime/toggles.hpp). Returns false when no such toggle exists.
+  bool set(std::string_view toggle, bool value = true);
 };
 
 struct RunReport {
@@ -127,6 +141,14 @@ struct RunReport {
   std::string backend;
   int threads = 0;
   double exec_ms = 0.0;
+
+  // Real-socket traffic (exec::WireStats): zero unless the proc backend
+  // ran. Deliberately outside NetStats — NetStats stay byte-identical
+  // across backends, while wire traffic only exists when payloads
+  // physically cross a process boundary.
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t wire_msgs = 0;
+  std::uint64_t proc_spawns = 0;
 
   [[nodiscard]] std::string summary() const;
 };

@@ -1,0 +1,114 @@
+#include "support/cli.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "exec/backend.hpp"
+#include "runtime/toggles.hpp"
+
+namespace hpfc::support::cli {
+
+namespace {
+
+/// Parses "--name=value" into the integer out-param; false on garbage.
+bool parse_int(std::string_view value, int& out) {
+  const auto* end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_unsigned(std::string_view value, unsigned& out) {
+  const auto* end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+/// "--flag=value" accessor: returns true and fills `value` when `arg`
+/// starts with `flag` (which must end in '=').
+bool value_flag(std::string_view arg, std::string_view flag,
+                std::string_view& value) {
+  if (!arg.starts_with(flag)) return false;
+  value = arg.substr(flag.size());
+  return true;
+}
+
+}  // namespace
+
+Parsed RunFlags::consume(std::string_view arg) {
+  // Registry toggles: "--<kebab-name>" sets the flag.
+  if (arg.starts_with("--")) {
+    if (const auto* toggle = runtime::find_toggle(arg.substr(2));
+        toggle != nullptr) {
+      options.*(toggle->flag) = true;
+      return Parsed::Consumed;
+    }
+  }
+
+  std::string_view value;
+  if (value_flag(arg, "--backend=", value)) {
+    const auto kind = exec::parse_backend_kind(value);
+    if (!kind.has_value()) {
+      error = "unknown backend '" + std::string(value) +
+              "' (expected seq, thread, or proc)";
+      return Parsed::Error;
+    }
+    options.backend = *kind;
+    return Parsed::Consumed;
+  }
+  if (value_flag(arg, "--threads=", value)) {
+    if (!parse_int(value, options.threads)) {
+      error = "bad --threads value '" + std::string(value) + "'";
+      return Parsed::Error;
+    }
+    return Parsed::Consumed;
+  }
+  if (value_flag(arg, "--ranks=", value)) {
+    if (!parse_int(value, options.ranks)) {
+      error = "bad --ranks value '" + std::string(value) + "'";
+      return Parsed::Error;
+    }
+    return Parsed::Consumed;
+  }
+  if (value_flag(arg, "--seed=", value)) {
+    if (!parse_unsigned(value, options.seed)) {
+      error = "bad --seed value '" + std::string(value) + "'";
+      return Parsed::Error;
+    }
+    return Parsed::Consumed;
+  }
+  if (value_flag(arg, "--proc-timeout-ms=", value)) {
+    if (!parse_int(value, options.proc_timeout_ms) ||
+        options.proc_timeout_ms <= 0) {
+      error = "bad --proc-timeout-ms value '" + std::string(value) + "'";
+      return Parsed::Error;
+    }
+    return Parsed::Consumed;
+  }
+  return Parsed::Unrecognized;
+}
+
+std::string usage() {
+  std::ostringstream os;
+  os << "  --backend=seq|thread|proc  execution backend for the runtime\n"
+     << "  --threads=N          worker threads for --backend=thread "
+        "(0 = auto)\n"
+     << "  --ranks=N            machine size (0 = largest arrangement)\n"
+     << "  --seed=N             branch-decision seed\n"
+     << "  --proc-timeout-ms=N  socket deadline for --backend=proc\n";
+  for (const auto& toggle : runtime::toggles())
+    os << "  --" << toggle.name << "\n                       " << toggle.help
+       << "\n";
+  return os.str();
+}
+
+std::string toggle_table() {
+  std::ostringstream os;
+  for (const auto& toggle : runtime::toggles())
+    os << "--" << toggle.name << "\t" << toggle.key << "\t" << toggle.help
+       << "\n";
+  os << "--proc-timeout-ms=\tproc_timeout_ms\t"
+     << "proc backend: socket operation deadline in milliseconds\n";
+  return os.str();
+}
+
+}  // namespace hpfc::support::cli

@@ -86,11 +86,20 @@ foreach(field copies_performed elements_copied messages bytes segments
         supersteps fused_copies specialized_kernels specialized_dispatches
         plan_cache_hits plan_cache_misses symbolic_instantiations
         plan_evictions packed_bytes local_fastpath_copies
-        skipped_already_mapped skipped_live_copy)
+        skipped_already_mapped skipped_live_copy
+        wire_bytes wire_msgs proc_spawns)
   if(NOT report MATCHES "\"${field}\": [0-9]+")
     message(FATAL_ERROR "cli_smoke: report JSON missing ${field}:\n${report}")
   endif()
 endforeach()
+if(NOT report MATCHES "\"sim_time_ms\": [0-9]")
+  message(FATAL_ERROR "cli_smoke: report JSON missing sim_time_ms:\n${report}")
+endif()
+# No real sockets under the in-process backends: seq wire counters are 0.
+if(report MATCHES "\"proc_spawns\": [1-9]")
+  message(FATAL_ERROR
+    "cli_smoke: seq run claims to have spawned workers:\n${report}")
+endif()
 # The default path runs through specialized kernels: every executed level
 # installs at least one and dispatches through it.
 if(report MATCHES "\"specialized_kernels\": 0[,}]")
@@ -156,6 +165,76 @@ foreach(field copies_performed elements_copied messages bytes local_copies
     message(FATAL_ERROR
       "cli_smoke: ${field} differs between backends\nseq:    ${seq_counts}\n"
       "thread: ${thread_counts}")
+  endif()
+endforeach()
+
+# The real-process socket backend must reproduce the same per-level
+# counters: NetStats are computed from the routed inboxes after the framed
+# payloads physically cross the worker sockets, so every communication
+# counter must agree with seq byte-for-byte while the wire counters
+# (socket traffic that only exists here) come alive.
+set(proc_report_json "${_bin_dir}/cli_smoke_report_proc.json")
+file(REMOVE "${proc_report_json}")
+execute_process(
+  COMMAND "${HPFC_BIN}" "${HPFC_SOURCE_DIR}/examples/quickstart.hpf"
+          --run --compare --backend=proc
+          --report-json=${proc_report_json}
+  OUTPUT_VARIABLE proc_out
+  ERROR_VARIABLE proc_err
+  RESULT_VARIABLE proc_status)
+if(NOT proc_status EQUAL 0)
+  message(FATAL_ERROR "cli_smoke: hpfc --backend=proc exited with "
+    "${proc_status}\nstdout:\n${proc_out}\nstderr:\n${proc_err}")
+endif()
+if(proc_out MATCHES "MISMATCH")
+  message(FATAL_ERROR
+    "cli_smoke: proc backend diverged from the oracle:\n${proc_out}")
+endif()
+file(READ "${proc_report_json}" proc_report)
+if(NOT proc_report MATCHES "\"backend\": \"proc\"")
+  message(FATAL_ERROR
+    "cli_smoke: proc report JSON missing backend key:\n${proc_report}")
+endif()
+foreach(field copies_performed elements_copied messages bytes local_copies
+        segments supersteps fused_copies specialized_kernels
+        specialized_dispatches plan_cache_hits plan_cache_misses
+        symbolic_instantiations plan_evictions packed_bytes
+        local_fastpath_copies skipped_already_mapped skipped_live_copy)
+  string(REGEX MATCHALL "\"${field}\": [0-9]+" seq_counts "${report}")
+  string(REGEX MATCHALL "\"${field}\": [0-9]+" proc_counts "${proc_report}")
+  if(NOT seq_counts STREQUAL proc_counts)
+    message(FATAL_ERROR
+      "cli_smoke: ${field} differs between backends\nseq:  ${seq_counts}\n"
+      "proc: ${proc_counts}")
+  endif()
+endforeach()
+# ...but the wire counters must be live: each executed level forked real
+# workers and shipped framed payloads through real sockets.
+if(proc_report MATCHES "\"proc_spawns\": 0[,}]")
+  message(FATAL_ERROR
+    "cli_smoke: proc run spawned no workers:\n${proc_report}")
+endif()
+if(proc_report MATCHES "\"wire_bytes\": 0[,}]")
+  message(FATAL_ERROR
+    "cli_smoke: proc run moved no bytes over the wire:\n${proc_report}")
+endif()
+
+# --list-toggles: the machine-parsable registry table run_benches
+# validates passthrough flags against.
+execute_process(
+  COMMAND "${HPFC_BIN}" --list-toggles
+  OUTPUT_VARIABLE toggles_out
+  ERROR_VARIABLE toggles_err
+  RESULT_VARIABLE toggles_status)
+if(NOT toggles_status EQUAL 0)
+  message(FATAL_ERROR "cli_smoke: hpfc --list-toggles exited with "
+    "${toggles_status}\nstderr:\n${toggles_err}")
+endif()
+foreach(flag force-message-path unfuse-copy-groups interpret-kernels
+        concrete-plans paranoid proc-tcp proc-timeout-ms=)
+  if(NOT toggles_out MATCHES "--${flag}\t")
+    message(FATAL_ERROR
+      "cli_smoke: --list-toggles is missing --${flag}:\n${toggles_out}")
   endif()
 endforeach()
 
@@ -243,5 +322,5 @@ endforeach()
 
 message(STATUS
   "cli_smoke: OK (O0 copied ${o0_elems} elems, O2 copied ${o2_elems}, "
-  "seq/thread backends and the kernel and plan toggles agree, "
+  "seq/thread/proc backends and the kernel and plan toggles agree, "
   "report at ${report_json})")

@@ -1,14 +1,18 @@
-// Backend equivalence: the thread-per-rank engine must be observationally
-// identical to the sequential BSP engine — same read checksums, same
-// NetStats byte for byte, same deterministic (src, emission) inbox order —
-// across randomized programs, machine sizes, worker counts, and
-// random_layout-generated redistributions.
+// Backend equivalence: the thread-per-rank and process-per-rank engines
+// must be observationally identical to the sequential BSP engine — same
+// read checksums, same NetStats byte for byte, same deterministic
+// (src, emission) inbox order — across randomized programs, machine
+// sizes, worker counts, and random_layout-generated redistributions.
+// The proc backend additionally proves its robustness contract: a killed
+// worker surfaces as a bounded-time ProcError diagnostic, never a hang.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <random>
 
 #include "driver/compiler.hpp"
 #include "exec/backend.hpp"
+#include "exec/proc_backend.hpp"
 #include "redist/commsets.hpp"
 #include "redist/segments.hpp"
 #include "support/check.hpp"
@@ -27,9 +31,11 @@ using mapping::Shape;
 TEST(BackendKind, ParsesAndPrints) {
   EXPECT_EQ(exec::parse_backend_kind("seq"), exec::BackendKind::Seq);
   EXPECT_EQ(exec::parse_backend_kind("thread"), exec::BackendKind::Thread);
+  EXPECT_EQ(exec::parse_backend_kind("proc"), exec::BackendKind::Proc);
   EXPECT_FALSE(exec::parse_backend_kind("mpi").has_value());
   EXPECT_STREQ(exec::to_string(exec::BackendKind::Seq), "seq");
   EXPECT_STREQ(exec::to_string(exec::BackendKind::Thread), "thread");
+  EXPECT_STREQ(exec::to_string(exec::BackendKind::Proc), "proc");
 }
 
 TEST(Backend, FactoryReportsKindRanksWorkers) {
@@ -48,6 +54,15 @@ TEST(Backend, FactoryReportsKindRanksWorkers) {
   const auto clamped =
       exec::make_backend(exec::BackendKind::Thread, 3, {}, /*threads=*/64);
   EXPECT_EQ(clamped->workers(), 3);
+
+  // Proc: compute stays on the controller; one process forked per rank.
+  const auto proc = exec::make_backend(exec::BackendKind::Proc, 3);
+  EXPECT_EQ(proc->kind(), exec::BackendKind::Proc);
+  EXPECT_EQ(proc->ranks(), 3);
+  EXPECT_EQ(proc->workers(), 1);
+  EXPECT_EQ(proc->wire().proc_spawns, 3u);
+  // The in-process backends never touch a real socket.
+  EXPECT_EQ(seq->wire(), exec::WireStats{});
 }
 
 TEST(Backend, BarrierAccountingMatchesAcrossBackends) {
@@ -119,23 +134,120 @@ TEST(Backend, ExchangeIsDeterministicAcrossBackends) {
       const auto seq = exec::make_backend(exec::BackendKind::Seq, ranks);
       const auto thr = exec::make_backend(exec::BackendKind::Thread, ranks,
                                           {}, /*threads=*/3);
+      const auto proc = exec::make_backend(exec::BackendKind::Proc, ranks);
       const auto seq_in = seq->exchange(outboxes);
       const auto thr_in = thr->exchange(outboxes);
+      const auto proc_in = proc->exchange(outboxes);
 
       ASSERT_EQ(seq_in.size(), thr_in.size());
+      ASSERT_EQ(seq_in.size(), proc_in.size());
       for (std::size_t r = 0; r < seq_in.size(); ++r) {
         ASSERT_EQ(seq_in[r].size(), thr_in[r].size()) << "rank " << r;
+        ASSERT_EQ(seq_in[r].size(), proc_in[r].size()) << "rank " << r;
         for (std::size_t i = 0; i < seq_in[r].size(); ++i) {
           EXPECT_EQ(seq_in[r][i].src, thr_in[r][i].src);
           EXPECT_EQ(seq_in[r][i].dst, thr_in[r][i].dst);
           EXPECT_EQ(seq_in[r][i].tag, thr_in[r][i].tag);
           EXPECT_EQ(seq_in[r][i].segments, thr_in[r][i].segments);
           EXPECT_EQ(seq_in[r][i].payload, thr_in[r][i].payload);
+          EXPECT_EQ(seq_in[r][i].src, proc_in[r][i].src);
+          EXPECT_EQ(seq_in[r][i].dst, proc_in[r][i].dst);
+          EXPECT_EQ(seq_in[r][i].tag, proc_in[r][i].tag);
+          EXPECT_EQ(seq_in[r][i].segments, proc_in[r][i].segments);
+          EXPECT_EQ(seq_in[r][i].payload, proc_in[r][i].payload);
         }
       }
       EXPECT_EQ(seq->stats(), thr->stats());
+      // NetStats stay byte-identical even though proc's payloads crossed
+      // real sockets; the physical traffic shows up in WireStats only.
+      EXPECT_EQ(seq->stats(), proc->stats());
+      std::size_t total = 0;
+      for (const auto& outbox : outboxes) total += outbox.size();
+      if (total > 0) {
+        EXPECT_GT(proc->wire().wire_bytes, 0u);
+        EXPECT_GE(proc->wire().wire_msgs, total);
+      }
     }
   }
+}
+
+/// The same framed superstep flows over TCP loopback when ProcConfig::tcp
+/// is set: identical inboxes, identical NetStats, live wire counters.
+TEST(Backend, ProcBackendTcpMatchesUnixSocketpairs) {
+  std::mt19937 rng(11);
+  const int ranks = 3;
+  std::vector<std::vector<net::Message>> outboxes(
+      static_cast<std::size_t>(ranks));
+  for (int src = 0; src < ranks; ++src) {
+    for (int m = 0; m < 3; ++m) {
+      net::Message msg;
+      msg.src = src;
+      msg.dst = static_cast<int>(rng() % static_cast<unsigned>(ranks));
+      msg.tag = m;
+      msg.segments = 1;
+      msg.payload.assign(64 + rng() % 64, static_cast<double>(rng() % 100));
+      outboxes[static_cast<std::size_t>(src)].push_back(std::move(msg));
+    }
+  }
+  exec::ProcBackend unix_mesh(ranks, {}, exec::ProcConfig{});
+  exec::ProcBackend tcp_mesh(ranks, {},
+                             exec::ProcConfig{.tcp = true});
+  const auto unix_in = unix_mesh.exchange(outboxes);
+  const auto tcp_in = tcp_mesh.exchange(outboxes);
+  ASSERT_EQ(unix_in.size(), tcp_in.size());
+  for (std::size_t r = 0; r < unix_in.size(); ++r) {
+    ASSERT_EQ(unix_in[r].size(), tcp_in[r].size());
+    for (std::size_t i = 0; i < unix_in[r].size(); ++i)
+      EXPECT_EQ(unix_in[r][i].payload, tcp_in[r][i].payload);
+  }
+  EXPECT_EQ(unix_mesh.stats(), tcp_mesh.stats());
+  EXPECT_EQ(unix_mesh.wire().wire_bytes, tcp_mesh.wire().wire_bytes);
+  EXPECT_EQ(unix_mesh.wire().wire_msgs, tcp_mesh.wire().wire_msgs);
+}
+
+/// Robustness contract: a worker killed mid-flight surfaces as a
+/// ProcError naming the wire failure within the configured deadline —
+/// never a hang — and the backend refuses further supersteps.
+TEST(Backend, ProcBackendKilledWorkerFailsFastWithDiagnostic) {
+  exec::ProcBackend backend(4, {},
+                            exec::ProcConfig{.timeout_ms = 2000});
+  // One healthy superstep first, so the kill hits an established wire.
+  std::vector<std::vector<net::Message>> outboxes(4);
+  net::Message msg;
+  msg.src = 0;
+  msg.dst = 2;
+  msg.segments = 1;
+  msg.payload.assign(8, 1.0);
+  outboxes[0].push_back(msg);
+  (void)backend.exchange(outboxes);
+
+  backend.kill_worker(2);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)backend.exchange(outboxes), exec::ProcError);
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  // Bounded by the deadline (with slack for scheduling), not a hang.
+  EXPECT_LT(elapsed, 8.0);
+  // The wire is down for good: later supersteps fail instantly.
+  EXPECT_THROW((void)backend.exchange(outboxes), exec::ProcError);
+}
+
+/// Ping round-trips echo the payload and feed the calibration fit.
+TEST(Backend, ProcBackendPingAndCalibration) {
+  exec::ProcBackend backend(2, {}, exec::ProcConfig{});
+  const double rtt = backend.ping(1, 256);
+  EXPECT_GT(rtt, 0.0);
+  EXPECT_GT(backend.wire().wire_bytes, 256 * sizeof(double));
+
+  const exec::Calibration fit =
+      exec::calibrate_wire(2, exec::ProcConfig{}, /*rounds=*/3);
+  EXPECT_GT(fit.latency, 0.0);
+  EXPECT_GT(fit.inv_bandwidth, 0.0);
+  EXPECT_EQ(fit.samples, 6);
+  const net::CostModel cost = fit.cost_model();
+  EXPECT_EQ(cost.latency, fit.latency);
+  EXPECT_EQ(cost.inv_bandwidth, fit.inv_bandwidth);
 }
 
 /// One full redistribution between testing::random_layout placements,
@@ -205,8 +317,12 @@ TEST(Backend, RandomLayoutRedistributionMatchesAcrossBackends) {
     const auto thr =
         exec::make_backend(exec::BackendKind::Thread, ranks, {},
                            /*threads=*/1 + static_cast<int>(rng() % 8));
-    EXPECT_EQ(run(*seq), run(*thr)) << "round " << round;
+    const auto proc = exec::make_backend(exec::BackendKind::Proc, ranks);
+    const auto expected = run(*seq);
+    EXPECT_EQ(expected, run(*thr)) << "round " << round;
     EXPECT_EQ(seq->stats(), thr->stats()) << "round " << round;
+    EXPECT_EQ(expected, run(*proc)) << "round " << round;
+    EXPECT_EQ(seq->stats(), proc->stats()) << "round " << round;
   }
 }
 
@@ -257,7 +373,8 @@ TEST_P(FastPathPrograms, LocalFastPathMatchesMessagePath) {
   const auto oracle = driver::run_oracle(compiled, run_options);
 
   for (const auto backend :
-       {exec::BackendKind::Seq, exec::BackendKind::Thread}) {
+       {exec::BackendKind::Seq, exec::BackendKind::Thread,
+        exec::BackendKind::Proc}) {
     run_options.backend = backend;
     run_options.threads = 3;
     run_options.force_message_path = false;
@@ -291,10 +408,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FastPathPrograms,
 class BackendPrograms : public ::testing::TestWithParam<unsigned> {};
 
 /// Whole-machine equivalence on randomized compilable programs: for every
-/// optimization level, machine size, and worker count, the thread backend
-/// reproduces the seq backend's checksums, counters, and NetStats, and
-/// both match the sequential oracle.
-TEST_P(BackendPrograms, ThreadBackendMatchesSeqBackend) {
+/// optimization level, machine size, and worker count, the thread and
+/// proc backends reproduce the seq backend's checksums, counters, and
+/// NetStats, and all match the sequential oracle.
+TEST_P(BackendPrograms, WorkerBackendsMatchSeqBackend) {
   testing::GenConfig config;
   config.seed = GetParam();
   auto accepted = testing::generate_compilable(config);
@@ -340,6 +457,25 @@ TEST_P(BackendPrograms, ThreadBackendMatchesSeqBackend) {
         EXPECT_EQ(thr.net, seq.net) << "NetStats diverged at threads="
                                     << threads << " ranks=" << ranks;
       }
+
+      run_options.backend = exec::BackendKind::Proc;
+      const auto proc = driver::run(compiled, run_options);
+      EXPECT_EQ(proc.backend, "proc");
+      EXPECT_EQ(proc.ranks, seq.ranks);
+      EXPECT_EQ(proc.signature, seq.signature) << "ranks=" << ranks;
+      EXPECT_TRUE(proc.exported_values_ok);
+      EXPECT_EQ(proc.net, seq.net)
+          << "NetStats diverged on the proc backend at ranks=" << ranks;
+      // The wire counters prove payloads physically crossed sockets
+      // (whenever the program communicated at all) and stay zero for
+      // the in-process backends.
+      EXPECT_EQ(proc.proc_spawns, static_cast<std::uint64_t>(proc.ranks));
+      if (seq.net.messages > 0) {
+        EXPECT_GT(proc.wire_bytes, 0u);
+      }
+      EXPECT_EQ(seq.wire_bytes, 0u);
+      EXPECT_EQ(seq.wire_msgs, 0u);
+      EXPECT_EQ(seq.proc_spawns, 0u);
     }
   }
 }

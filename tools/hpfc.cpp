@@ -9,19 +9,18 @@
 //   --dump-code         print the generated guard/copy code
 //   --run               execute on the simulated machine vs the oracle
 //   --compare           execute at all three levels and tabulate
-//   --seed=N            branch-decision seed for --run/--compare (default 7)
-//   --ranks=N           machine size (default: largest arrangement)
-//   --backend=seq|thread  execution backend for --run/--compare
-//   --threads=N         worker threads for --backend=thread (0 = auto)
-//   --interpret-kernels run transfers through the interpreted segment
-//                       walker instead of the specialized kernels (the
-//                       A/B oracle toggle; see docs/kernels.md)
-//   --concrete-plans    build every plan slot's redistribution plan from
-//                       the concrete layouts instead of the symbolic plan
-//                       cache (the A/B oracle toggle of the symbolic
-//                       layer; only the plan-cache counters move)
 //   --validate          run the Theorem 1 validator
 //   --report-json=PATH  dump the per-level RunReport counters as JSON
+//   --list-toggles      print the registered A/B toggle table and exit
+//   --calibrate         fit the cost model's alpha/beta from measured
+//                       proc-backend round-trips before running, and
+//                       record the constants in the report JSON
+//
+// The machine flags (--backend/--threads/--ranks/--seed/
+// --proc-timeout-ms) and every A/B toggle (--force-message-path,
+// --unfuse-copy-groups, --interpret-kernels, --concrete-plans,
+// --paranoid, --proc-tcp) come from the shared support::cli surface —
+// see `hpfc --list-toggles` and src/runtime/toggles.hpp.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -30,6 +29,8 @@
 
 #include "driver/compiler.hpp"
 #include "exec/backend.hpp"
+#include "exec/proc_backend.hpp"
+#include "support/cli.hpp"
 
 namespace {
 
@@ -45,13 +46,11 @@ struct Options {
   bool run = false;
   bool compare = false;
   bool validate = false;
-  unsigned seed = 7;
-  int ranks = 0;
-  hpfc::exec::BackendKind backend = hpfc::exec::BackendKind::Seq;
-  int threads = 0;
-  bool interpret_kernels = false;
-  bool concrete_plans = false;
+  bool calibrate = false;
+  support::cli::RunFlags flags;
   std::string report_json;
+  // Filled by --calibrate before any run.
+  exec::Calibration calibration;
 };
 
 /// One executed level's counters, collected for --report-json.
@@ -65,17 +64,24 @@ int usage() {
   std::cerr
       << "usage: hpfc <file.hpf> [--opt=O0|O1|O2] [--dump-program]\n"
          "            [--dump-graph] [--dump-dot] [--dump-code]\n"
-         "            [--run] [--compare] [--seed=N] [--ranks=N]"
-         " [--validate]\n"
-         "            [--backend=seq|thread] [--threads=N]"
-         " [--interpret-kernels]\n"
-         "            [--concrete-plans] [--report-json=PATH]\n";
+         "            [--run] [--compare] [--validate] [--calibrate]\n"
+         "            [--report-json=PATH] [--list-toggles]\n"
+      << support::cli::usage();
   return 2;
 }
 
 bool parse_args(int argc, char** argv, Options& options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    switch (options.flags.consume(arg)) {
+      case support::cli::Parsed::Consumed:
+        continue;
+      case support::cli::Parsed::Error:
+        std::cerr << "hpfc: " << options.flags.error << "\n";
+        return false;
+      case support::cli::Parsed::Unrecognized:
+        break;
+    }
     if (arg == "--dump-program") options.dump_program = true;
     else if (arg == "--dump-graph") options.dump_graph = true;
     else if (arg == "--dump-dot") options.dump_dot = true;
@@ -83,8 +89,7 @@ bool parse_args(int argc, char** argv, Options& options) {
     else if (arg == "--run") options.run = true;
     else if (arg == "--compare") options.compare = true;
     else if (arg == "--validate") options.validate = true;
-    else if (arg == "--interpret-kernels") options.interpret_kernels = true;
-    else if (arg == "--concrete-plans") options.concrete_plans = true;
+    else if (arg == "--calibrate") options.calibrate = true;
     else if (arg.rfind("--opt=", 0) == 0) {
       const std::string level = arg.substr(6);
       if (level == "O0") options.level = driver::OptLevel::O0;
@@ -93,16 +98,6 @@ bool parse_args(int argc, char** argv, Options& options) {
       else return false;
     } else if (arg.rfind("--report-json=", 0) == 0) {
       options.report_json = arg.substr(14);
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      options.seed = static_cast<unsigned>(std::stoul(arg.substr(7)));
-    } else if (arg.rfind("--ranks=", 0) == 0) {
-      options.ranks = std::stoi(arg.substr(8));
-    } else if (arg.rfind("--backend=", 0) == 0) {
-      const auto kind = hpfc::exec::parse_backend_kind(arg.substr(10));
-      if (!kind.has_value()) return false;
-      options.backend = *kind;
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      options.threads = std::stoi(arg.substr(10));
     } else if (!arg.empty() && arg[0] != '-' && options.file.empty()) {
       options.file = arg;
     } else {
@@ -135,21 +130,27 @@ bool write_report_json(const Options& options,
     std::cerr << "hpfc: cannot write " << options.report_json << "\n";
     return false;
   }
+  const runtime::RunOptions& run = options.flags.options;
   // Machine configuration: resolved values from an executed run when one
   // exists, the requested options otherwise.
-  const int ranks =
-      levels.empty() ? options.ranks : levels.front().report.ranks;
+  const int ranks = levels.empty() ? run.ranks : levels.front().report.ranks;
   const std::string backend = levels.empty()
-                                  ? hpfc::exec::to_string(options.backend)
+                                  ? hpfc::exec::to_string(run.backend)
                                   : levels.front().report.backend;
   const int threads =
-      levels.empty() ? options.threads : levels.front().report.threads;
+      levels.empty() ? run.threads : levels.front().report.threads;
   out << "{\n  \"schema\": \"hpfc-report-v1\",\n";
   out << "  \"source\": \"" << json_escape(options.file) << "\",\n";
-  out << "  \"seed\": " << options.seed << ",\n";
+  out << "  \"seed\": " << run.seed << ",\n";
   out << "  \"ranks\": " << ranks << ",\n";
   out << "  \"backend\": \"" << json_escape(backend) << "\",\n";
   out << "  \"threads\": " << threads << ",\n";
+  if (options.calibrate) {
+    out << "  \"calibration\": {\"latency_s\": "
+        << options.calibration.latency << ", \"inv_bandwidth_s_per_byte\": "
+        << options.calibration.inv_bandwidth
+        << ", \"samples\": " << options.calibration.samples << "},\n";
+  }
   out << "  \"levels\": [";
   for (std::size_t i = 0; i < levels.size(); ++i) {
     const auto& l = levels[i];
@@ -176,6 +177,10 @@ bool write_report_json(const Options& options,
         << ", \"skipped_already_mapped\": "
         << l.report.skipped_already_mapped
         << ", \"skipped_live_copy\": " << l.report.skipped_live_copy
+        << ", \"sim_time_ms\": " << l.report.net.sim_time * 1e3
+        << ", \"wire_bytes\": " << l.report.wire_bytes
+        << ", \"wire_msgs\": " << l.report.wire_msgs
+        << ", \"proc_spawns\": " << l.report.proc_spawns
         << ", \"exec_ms\": " << l.report.exec_ms
         << ", \"oracle_match\": " << (l.oracle_match ? "true" : "false")
         << "}";
@@ -217,13 +222,7 @@ int run_level(const std::string& source, const Options& options,
   }
 
   if (options.run || options.compare) {
-    runtime::RunOptions run_options;
-    run_options.seed = options.seed;
-    run_options.ranks = options.ranks;
-    run_options.backend = options.backend;
-    run_options.threads = options.threads;
-    run_options.interpret_kernels = options.interpret_kernels;
-    run_options.concrete_plans = options.concrete_plans;
+    const runtime::RunOptions& run_options = options.flags.options;
     const auto oracle = driver::run_oracle(compiled, run_options);
     const auto report = driver::run(compiled, run_options);
     const bool matches = report.signature == oracle.signature &&
@@ -238,7 +237,15 @@ int run_level(const std::string& source, const Options& options,
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--list-toggles") {
+      std::cout << support::cli::toggle_table();
+      return 0;
+    }
+  }
+
   Options options;
+  options.flags.options.seed = 7;  // the historical CLI default
   if (!parse_args(argc, argv, options)) return usage();
 
   std::ifstream in(options.file);
@@ -249,6 +256,23 @@ int main(int argc, char** argv) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   const std::string source = buffer.str();
+
+  if (options.calibrate) {
+    runtime::RunOptions& run = options.flags.options;
+    try {
+      options.calibration = exec::calibrate_wire(
+          /*ranks=*/4,
+          exec::ProcConfig{run.proc_tcp, run.proc_timeout_ms});
+    } catch (const std::exception& err) {
+      std::cerr << "hpfc: calibration failed: " << err.what() << "\n";
+      return 1;
+    }
+    run.cost = options.calibration.cost_model();
+    std::cout << "calibrated: alpha = " << options.calibration.latency * 1e6
+              << " us/msg, beta = "
+              << options.calibration.inv_bandwidth * 1e9 << " ns/byte ("
+              << options.calibration.samples << " samples)\n";
+  }
 
   std::vector<LevelReport> reports;
   int status = 0;
