@@ -117,6 +117,54 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Pipelined vs phased supersteps: the same fig16 workload through the
+    // thread and proc backends, once with the pipelined pack/exchange/
+    // unpack path (pack and unpack dispatched rank-parallel through
+    // Backend::step; proc exchanges via pooled scatter-gather sendmsg/recv
+    // with no flat encode copy) and once with RunOptions::no_pipeline (the
+    // historical serial controller phases + flat encode). Every counter —
+    // including the proc wire counters — is byte-identical across the
+    // pair; only exec_ms and its pack/exchange/unpack split move.
+    banner("remap_hotpath: pipelined vs phased supersteps (fig16, O0)",
+           "rank-parallel pack/unpack plus the zero-copy scatter-gather "
+           "wire path against the serial phased oracle");
+    for (const auto backend :
+         {hpfc::exec::BackendKind::Thread, hpfc::exec::BackendKind::Proc}) {
+      for (const bool phased : {false, true}) {
+        hpfc::runtime::RunOptions options;
+        options.seed = harness.options().run.seed;
+        options.backend = backend;
+        options.threads = 8;
+        options.no_pipeline = phased;
+        const auto oracle = hpfc::driver::run_oracle(compiled, options);
+        (void)hpfc::driver::run(compiled, options);
+
+        RunReport report = hpfc::driver::run(compiled, options);
+        RunReport best = report;
+        for (int rep = 1; rep < harness.options().reps; ++rep) {
+          report = hpfc::driver::run(compiled, options);
+          if (report.exec_ms < best.exec_ms) best = report;
+        }
+        if (report.signature != oracle.signature ||
+            !report.exported_values_ok) {
+          std::fprintf(stderr, "remap_hotpath diverged from the oracle\n");
+          std::abort();
+        }
+        // Best-of-reps, whole report: the phase split must describe the
+        // same repetition the exec_ms came from.
+        LevelMetrics metrics = metrics_from("O0", best);
+        const std::string config = std::string("P=8 n=1048576 trips=6 ") +
+                                   hpfc::exec::to_string(backend) +
+                                   (phased ? " phased" : " pipelined");
+        row(config, metrics);
+        note(config + ": exec_ms=" + std::to_string(metrics.exec_ms) +
+             " pack_ms=" + std::to_string(metrics.pack_ms) +
+             " exchange_ms=" + std::to_string(metrics.exchange_ms) +
+             " unpack_ms=" + std::to_string(metrics.unpack_ms));
+        harness.record_metrics("remap_hotpath", config, std::move(metrics));
+      }
+    }
+
     // Cross-array aggregation: one remap vertex moving 4 arrays at once.
     banner("remap_hotpath: fused remap supersteps (fig16_multi, O0)",
            "k copies emitted for one remapping vertex share one "

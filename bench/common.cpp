@@ -140,6 +140,9 @@ LevelMetrics metrics_from(const std::string& level, const RunReport& report,
   metrics.proc_spawns = report.proc_spawns;
   metrics.sim_time_ms = report.net.sim_time * 1e3;
   metrics.exec_ms = report.exec_ms;
+  metrics.pack_ms = report.pack_ms;
+  metrics.exchange_ms = report.exchange_ms;
+  metrics.unpack_ms = report.unpack_ms;
   metrics.compile_wall_ms = compile_wall_ms;
   metrics.run_wall_ms = run_wall_ms;
   return metrics;
@@ -152,6 +155,12 @@ void row(const std::string& label, const LevelMetrics& m) {
               static_cast<unsigned long long>(m.remote_messages),
               static_cast<unsigned long long>(m.remote_bytes),
               m.skipped_status_guard + m.skipped_live_copy, m.sim_time_ms);
+  // Phase-timer snapshot: flushed per level so a wedged later phase still
+  // leaves the last completed level's split in the captured output
+  // (run_benches quotes it in its timeout diagnostic).
+  std::printf("    phases: pack %.3f ms / exchange %.3f ms / unpack %.3f ms\n",
+              m.pack_ms, m.exchange_ms, m.unpack_ms);
+  std::fflush(stdout);
 }
 
 hpfc::runtime::RunOptions default_run_options() {
@@ -221,6 +230,9 @@ LevelMetrics Harness::measure_level(const Factory& factory, OptLevel level,
   std::vector<double> compile_samples;
   std::vector<double> run_samples;
   std::vector<double> exec_samples;
+  std::vector<double> pack_samples;
+  std::vector<double> exchange_samples;
+  std::vector<double> unpack_samples;
   Compiled compiled;
   RunReport report;
   const hpfc::runtime::RunOptions run_opts = run_options(seed);
@@ -247,6 +259,9 @@ LevelMetrics Harness::measure_level(const Factory& factory, OptLevel level,
       compile_samples.push_back(compile_ms);
       run_samples.push_back(run_ms);
       exec_samples.push_back(report.exec_ms);
+      pack_samples.push_back(report.pack_ms);
+      exchange_samples.push_back(report.exchange_ms);
+      unpack_samples.push_back(report.unpack_ms);
     }
   }
 
@@ -255,6 +270,9 @@ LevelMetrics Harness::measure_level(const Factory& factory, OptLevel level,
                    median(std::move(compile_samples)),
                    median(std::move(run_samples)));
   metrics.exec_ms = median(std::move(exec_samples));
+  metrics.pack_ms = median(std::move(pack_samples));
+  metrics.exchange_ms = median(std::move(exchange_samples));
+  metrics.unpack_ms = median(std::move(unpack_samples));
   return metrics;
 }
 
@@ -362,6 +380,9 @@ bool Harness::write_json() const {
          << ", \"proc_spawns\": " << m.proc_spawns
          << ", \"sim_time_ms\": " << m.sim_time_ms
          << ", \"exec_ms\": " << m.exec_ms
+         << ", \"pack_ms\": " << m.pack_ms
+         << ", \"exchange_ms\": " << m.exchange_ms
+         << ", \"unpack_ms\": " << m.unpack_ms
          << ", \"compile_wall_ms\": " << m.compile_wall_ms
          << ", \"run_wall_ms\": " << m.run_wall_ms << "}";
     }

@@ -100,6 +100,14 @@ struct LevelMetrics {
   /// inside the runtime (median over repetitions): the number that drops
   /// when --backend=thread spreads rank work over real cores.
   double exec_ms = 0.0;
+  /// Superstep phase timers (medians over repetitions): wall-clock spent
+  /// inside every exchange superstep's pack / exchange / unpack window.
+  /// They sum to less than exec_ms (guard evaluation, plan compilation
+  /// and local fast-path copies run outside the windows) and are the
+  /// pipelined-vs---no-pipeline A/B's measurement surface.
+  double pack_ms = 0.0;
+  double exchange_ms = 0.0;
+  double unpack_ms = 0.0;
   double compile_wall_ms = 0.0;          ///< median host compile time
   /// Median host time of the simulated run alone (the sequential oracle
   /// used for cross-checking is executed outside the timed region).

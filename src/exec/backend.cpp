@@ -25,6 +25,74 @@ std::optional<BackendKind> parse_backend_kind(std::string_view name) {
   return std::nullopt;
 }
 
+StepPool::StepPool(int ranks, int threads) : ranks_(ranks) {
+  HPFC_ASSERT_MSG(ranks > 0, "a pool needs at least one rank");
+  int hardware = static_cast<int>(std::thread::hardware_concurrency());
+  if (hardware <= 0) hardware = 1;
+  if (threads <= 0) threads = hardware;
+  threads_ = std::min(std::max(threads, 1), ranks);
+  errors_.resize(static_cast<std::size_t>(threads_));
+  workers_.reserve(static_cast<std::size_t>(threads_));
+  for (int w = 0; w < threads_; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+StepPool::~StepPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void StepPool::run(const RankFn& fn) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    pending_ = threads_;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    step_done_.wait(lock, [this] { return pending_ == 0; });
+    fn_ = nullptr;
+  }
+  // Rank work may throw (HPFC_ASSERT throws InternalError): rethrow the
+  // lowest-indexed worker's failure on the controlling thread.
+  for (auto& error : errors_) {
+    if (error == nullptr) continue;
+    const std::exception_ptr first = error;
+    for (auto& e : errors_) e = nullptr;
+    std::rethrow_exception(first);
+  }
+}
+
+void StepPool::worker_loop(int worker) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const RankFn* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+    }
+    try {
+      for (int r = worker; r < ranks_; r += threads_) (*fn)(r);
+    } catch (...) {
+      // Slot is worker-owned during a run; the barrier publishes it.
+      errors_[static_cast<std::size_t>(worker)] = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) step_done_.notify_one();
+    }
+  }
+}
+
 Backend::Backend(int ranks, net::CostModel cost) : ranks_(ranks), cost_(cost) {
   HPFC_ASSERT_MSG(ranks > 0, "a machine needs at least one rank");
 }

@@ -24,9 +24,13 @@
 // differs.
 #pragma once
 
+#include <condition_variable>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string_view>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -56,6 +60,13 @@ struct ProcConfig {
   /// long a dead or wedged worker can stall an exchange before the run
   /// fails with a diagnostic instead of hanging.
   int timeout_ms = 10000;
+  /// Ship controller frames through the historical serial encode-copy
+  /// path (encode_frame staging buffers, one control channel at a time)
+  /// instead of the pooled scatter-gather wire path. The bytes on the
+  /// wire — and so NetStats, WireStats, and inbox order — are identical
+  /// either way; only wall-clock time moves. Set from
+  /// RunOptions::no_pipeline; the A/B oracle of the pipelined path.
+  bool phased = false;
 };
 
 /// Real-socket traffic counters, filled by ProcBackend and zero for the
@@ -100,6 +111,48 @@ class RankFn {
  private:
   const void* object_;
   void (*call_)(const void*, int);
+};
+
+/// A reusable fork-join rank pool: min(threads, ranks) persistent workers
+/// execute a published RankFn under a generation-counter protocol, with
+/// worker w owning ranks w, w+T, w+2T, ... (static striping — no work
+/// queue, no per-rank locking). The mutex/condition hand-off around each
+/// run() provides the happens-before edges between consecutive runs that
+/// make rank-owned data safely visible across workers.
+///
+/// Extracted from ThreadBackend so ProcBackend can drive its per-rank
+/// wire phases (gather-sends, scatter-receives) through the same engine
+/// that runs pack/unpack rank work.
+class StepPool {
+ public:
+  /// `threads <= 0` picks min(ranks, hardware_concurrency).
+  StepPool(int ranks, int threads);
+  ~StepPool();
+  StepPool(const StepPool&) = delete;
+  StepPool& operator=(const StepPool&) = delete;
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Runs fn(r) for every rank r across the pool and returns once all
+  /// ranks finished (a barrier). If rank work throws, the lowest-indexed
+  /// failing worker's exception is rethrown here.
+  void run(const RankFn& fn);
+
+ private:
+  void worker_loop(int worker);
+
+  int ranks_;
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::vector<std::exception_ptr> errors_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable step_done_;
+  const RankFn* fn_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
 };
 
 class Backend {

@@ -50,27 +50,26 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Per-peer progress for the worker mesh phase: a fully-encoded outgoing
-/// frame draining at `out_pos`, and an incoming frame arriving
-/// header-first into fixed-size then body buffers.
+/// Per-peer progress for the worker mesh phase: a gather-encoded outgoing
+/// frame (payload iovecs point into the per-destination message groups —
+/// no staging copy) draining at a GatherCursor, and an incoming frame
+/// arriving header-first, its body scatter-decoded straight into the
+/// destination Message payloads.
 struct PeerIO {
   int fd = -1;
   int peer = -1;
-  std::vector<std::uint8_t> out;
-  std::size_t out_pos = 0;
-  std::uint64_t out_msgs = 0;
+  std::string label;  ///< "mesh exchange with rank N" (error context)
+  wire::GatherFrame out;
+  wire::GatherCursor out_cursor;
+  bool sent = false;
 
   std::uint8_t header[wire::kHeaderBytes] = {};
   std::size_t header_pos = 0;
-  std::vector<std::uint8_t> body;
-  std::size_t body_pos = 0;
   bool body_started = false;
-  std::uint64_t expected_checksum = 0;
-  wire::FrameKind in_kind = wire::FrameKind::Shutdown;
-  int in_src = -1;
+  wire::BodyScatterDecoder body;
   bool received = false;
 
-  [[nodiscard]] bool send_done() const { return out_pos >= out.size(); }
+  [[nodiscard]] bool send_done() const { return sent; }
 };
 
 [[noreturn]] void mesh_fail(int peer, const std::string& why) {
@@ -78,25 +77,20 @@ struct PeerIO {
                         ": " + why);
 }
 
-/// Drives one peer's non-blocking send forward until EAGAIN or done.
+/// Drives one peer's non-blocking gather send forward until EAGAIN or
+/// done (the frame's payload bytes leave straight from the message
+/// buffers — sendmsg, no staging copy).
 void pump_send(PeerIO& io, wire::Tally& tally) {
-  while (!io.send_done()) {
-    const ssize_t n = ::send(io.fd, io.out.data() + io.out_pos,
-                             io.out.size() - io.out_pos, MSG_NOSIGNAL);
-    if (n > 0) {
-      io.out_pos += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
-    if (n < 0 && errno == EINTR) continue;
-    mesh_fail(io.peer, n < 0 ? std::strerror(errno) : "peer closed");
-  }
-  tally.bytes += io.out.size();
-  tally.msgs += io.out_msgs;
+  if (io.sent) return;
+  if (!wire::pump_gather_send(io.fd, io.out, io.out_cursor, io.label)) return;
+  io.sent = true;
+  tally.bytes += io.out.bytes;
+  tally.msgs += io.out.msgs;
 }
 
 /// Drives one peer's non-blocking receive forward until EAGAIN or a
-/// complete, checksum-verified frame.
+/// complete, checksum-verified frame (payload bytes land straight in
+/// their destination Message buffers via the scatter decoder).
 void pump_recv(PeerIO& io) {
   while (!io.received) {
     if (!io.body_started) {
@@ -105,13 +99,15 @@ void pump_recv(PeerIO& io) {
       if (n > 0) {
         io.header_pos += static_cast<std::size_t>(n);
         if (io.header_pos == wire::kHeaderBytes) {
+          wire::FrameKind kind = wire::FrameKind::Shutdown;
+          int src = -1;
           std::uint64_t body_bytes = 0;
+          std::uint64_t expected = 0;
           wire::decode_header(
               std::span<const std::uint8_t>(io.header, wire::kHeaderBytes),
-              io.in_kind, io.in_src, body_bytes, io.expected_checksum);
-          io.body.resize(body_bytes);
+              kind, src, body_bytes, expected);
+          io.body.reset(kind, src, body_bytes, expected);
           io.body_started = true;
-          continue;
         }
         continue;
       }
@@ -120,16 +116,16 @@ void pump_recv(PeerIO& io) {
       if (errno == EINTR) continue;
       mesh_fail(io.peer, std::strerror(errno));
     } else {
-      if (io.body_pos == io.body.size()) {
-        if (wire::checksum_bytes(io.body) != io.expected_checksum)
+      if (io.body.done()) {
+        if (!io.body.checksum_ok())
           mesh_fail(io.peer, "frame checksum mismatch");
         io.received = true;
         return;
       }
-      const ssize_t n = ::recv(io.fd, io.body.data() + io.body_pos,
-                               io.body.size() - io.body_pos, 0);
+      const auto window = io.body.window();
+      const ssize_t n = ::recv(io.fd, window.data(), window.size(), 0);
       if (n > 0) {
-        io.body_pos += static_cast<std::size_t>(n);
+        io.body.advance(static_cast<std::size_t>(n));
         continue;
       }
       if (n == 0) mesh_fail(io.peer, "peer died mid-superstep");
@@ -161,9 +157,11 @@ std::vector<net::Message> mesh_exchange(int rank, int ranks,
     PeerIO io;
     io.fd = peer_fds[static_cast<std::size_t>(peer)];
     io.peer = peer;
-    io.out = wire::encode_frame(wire::FrameKind::Peer, rank,
-                                per_dst[static_cast<std::size_t>(peer)]);
-    io.out_msgs = per_dst[static_cast<std::size_t>(peer)].size();
+    io.label = "mesh exchange with rank " + std::to_string(peer);
+    // Gather-encode: the frame's iovecs point into per_dst's payloads,
+    // which stay put until the inbox assembly below.
+    io.out = wire::encode_frame_gather(wire::FrameKind::Peer, rank,
+                                       per_dst[static_cast<std::size_t>(peer)]);
     ios.push_back(std::move(io));
   }
 
@@ -221,7 +219,7 @@ std::vector<net::Message> mesh_exchange(int rank, int ranks,
     }
     PeerIO& io = ios[next_peer++];
     HPFC_ASSERT(io.peer == src);
-    wire::Frame frame = wire::decode_body(io.in_kind, io.in_src, io.body);
+    wire::Frame frame = io.body.take(io.label);
     if (frame.kind != wire::FrameKind::Peer || frame.src != src)
       mesh_fail(src, "unexpected frame on the mesh");
     for (auto& msg : frame.messages) {
@@ -240,8 +238,10 @@ void ProcBackend::worker_main(int rank, int ranks, int ctrl_fd,
     for (;;) {
       // Idle wait is unbounded: the controller may legitimately compute
       // for a long time between supersteps. Its death still wakes us
-      // (EOF on the control channel) and we exit below.
-      wire::Frame frame = wire::recv_frame(ctrl_fd, -1, "control channel");
+      // (EOF on the control channel) and we exit below. Scatter receive:
+      // outbox payloads land straight in their Message buffers.
+      wire::Frame frame =
+          wire::recv_frame_scatter(ctrl_fd, -1, "control channel");
       switch (frame.kind) {
         case wire::FrameKind::Shutdown:
           ::_exit(0);
@@ -256,11 +256,12 @@ void ProcBackend::worker_main(int rank, int ranks, int ctrl_fd,
           auto inbox = mesh_exchange(rank, ranks, peer_fds,
                                      std::move(frame.messages), timeout_ms,
                                      tally);
-          const std::uint64_t msgs = inbox.size();
-          const auto reply = wire::encode_frame(wire::FrameKind::Inbox, rank,
-                                                inbox, tally);
-          wire::send_frame(ctrl_fd, reply, msgs, timeout_ms, "inbox reply",
-                           nullptr);
+          // Gather send: inbox payload bytes leave straight from the
+          // message buffers (no encode staging copy).
+          const auto reply = wire::encode_frame_gather(wire::FrameKind::Inbox,
+                                                       rank, inbox, tally);
+          wire::send_gather_frame(ctrl_fd, reply, timeout_ms, "inbox reply",
+                                  nullptr);
           break;
         }
         default:
@@ -339,7 +340,13 @@ ProcBackend::ProcBackend(int ranks, net::CostModel cost, ProcConfig config)
   for (int r = 0; r < ranks; ++r)
     workers_[static_cast<std::size_t>(r)].ctrl =
         std::move(ctrl[static_cast<std::size_t>(r)].first);
+  // The step pool comes LAST: forking with pool threads alive would snap
+  // a mutex-holding thread into the child. After this line the backend
+  // never forks again.
+  pool_ = std::make_unique<StepPool>(ranks, /*threads=*/0);
 }
+
+void ProcBackend::step(const RankFn& fn) { pool_->run(fn); }
 
 ProcBackend::~ProcBackend() { shutdown_workers(); }
 
@@ -362,40 +369,97 @@ std::vector<std::vector<net::Message>> ProcBackend::exchange(
   }
   std::size_t sent_msgs = 0;
   for (const auto& outbox : outboxes) sent_msgs += outbox.size();
+  const auto n = static_cast<std::size_t>(ranks_);
 
   // Phase 1: every worker gets its full outbox. Workers drain the frame
-  // completely before entering the mesh, so rank-order sends are safe.
+  // completely before entering the mesh, so the controller's sends are
+  // mutually independent — safe in rank order (phased) or concurrently
+  // across the pool (pipelined).
   wire::Tally ctrl_tally;
-  for (int r = 0; r < ranks_; ++r) {
-    const auto& outbox = outboxes[static_cast<std::size_t>(r)];
-    const auto frame =
-        wire::encode_frame(wire::FrameKind::Outbox, wire::kControllerRank,
-                           outbox);
-    try {
-      wire::send_frame(workers_[static_cast<std::size_t>(r)].ctrl.fd(), frame,
-                       outbox.size(), config_.timeout_ms,
-                       "outbox to rank " + std::to_string(r), &ctrl_tally);
-    } catch (const wire::WireError& err) {
-      wire_failed(r, err.what());
+  std::vector<wire::Frame> frames(n);
+  if (config_.phased) {
+    // Historical path: encode into a staging buffer, one rank at a time.
+    for (int r = 0; r < ranks_; ++r) {
+      const auto& outbox = outboxes[static_cast<std::size_t>(r)];
+      const auto frame =
+          wire::encode_frame(wire::FrameKind::Outbox, wire::kControllerRank,
+                             outbox);
+      try {
+        wire::send_frame(workers_[static_cast<std::size_t>(r)].ctrl.fd(),
+                         frame, outbox.size(), config_.timeout_ms,
+                         "outbox to rank " + std::to_string(r), &ctrl_tally);
+      } catch (const wire::WireError& err) {
+        wire_failed(r, err.what());
+      }
+    }
+  } else {
+    // Pipelined path: per-rank gather sends across the pool — payload
+    // bytes leave straight from the outbox message buffers, and rank r's
+    // frame can be in flight while another rank's is still encoding.
+    // Errors are captured per rank (not rethrown mid-pool) so the lowest
+    // failing rank deterministically names the diagnostic.
+    std::vector<wire::Tally> tallies(n);
+    std::vector<std::string> errors(n);
+    pool_->run([&](int r) {
+      const auto& outbox = outboxes[static_cast<std::size_t>(r)];
+      const auto frame = wire::encode_frame_gather(
+          wire::FrameKind::Outbox, wire::kControllerRank, outbox);
+      try {
+        wire::send_gather_frame(workers_[static_cast<std::size_t>(r)].ctrl.fd(),
+                                frame, config_.timeout_ms,
+                                "outbox to rank " + std::to_string(r),
+                                &tallies[static_cast<std::size_t>(r)]);
+      } catch (const wire::WireError& err) {
+        errors[static_cast<std::size_t>(r)] = err.what();
+      }
+    });
+    for (int r = 0; r < ranks_; ++r) {
+      if (!errors[static_cast<std::size_t>(r)].empty())
+        wire_failed(r, errors[static_cast<std::size_t>(r)]);
+      ctrl_tally += tallies[static_cast<std::size_t>(r)];
     }
   }
   outboxes.clear();
 
   // Phase 2: collect every inbox. Returns are independent (the mesh is
   // already drained by the time a worker replies), so rank order is safe
-  // and keeps the result deterministic.
-  std::vector<std::vector<net::Message>> inboxes(
-      static_cast<std::size_t>(ranks_));
+  // — and so is collecting concurrently: each pool worker receives into
+  // its own rank's frame slot. Scatter receive (pipelined) lands inbox
+  // payloads straight in their destination Message buffers.
+  if (config_.phased) {
+    for (int r = 0; r < ranks_; ++r) {
+      try {
+        frames[static_cast<std::size_t>(r)] = wire::recv_frame(
+            workers_[static_cast<std::size_t>(r)].ctrl.fd(),
+            config_.timeout_ms, "inbox from rank " + std::to_string(r));
+      } catch (const wire::WireError& err) {
+        wire_failed(r, err.what());
+      }
+    }
+  } else {
+    std::vector<std::string> errors(n);
+    pool_->run([&](int r) {
+      try {
+        frames[static_cast<std::size_t>(r)] = wire::recv_frame_scatter(
+            workers_[static_cast<std::size_t>(r)].ctrl.fd(),
+            config_.timeout_ms, "inbox from rank " + std::to_string(r));
+      } catch (const wire::WireError& err) {
+        errors[static_cast<std::size_t>(r)] = err.what();
+      }
+    });
+    for (int r = 0; r < ranks_; ++r) {
+      if (!errors[static_cast<std::size_t>(r)].empty())
+        wire_failed(r, errors[static_cast<std::size_t>(r)]);
+    }
+  }
+
+  // Validation and accounting stay serial (and commutative: the tally
+  // reduction is a sum, so pipelined and phased runs report identical
+  // WireStats for the same traffic).
+  std::vector<std::vector<net::Message>> inboxes(n);
   std::size_t received_msgs = 0;
   for (int r = 0; r < ranks_; ++r) {
-    wire::Frame frame;
-    try {
-      frame = wire::recv_frame(workers_[static_cast<std::size_t>(r)].ctrl.fd(),
-                               config_.timeout_ms,
-                               "inbox from rank " + std::to_string(r));
-    } catch (const wire::WireError& err) {
-      wire_failed(r, err.what());
-    }
+    wire::Frame& frame = frames[static_cast<std::size_t>(r)];
     if (frame.kind != wire::FrameKind::Inbox || frame.src != r)
       wire_failed(r, "unexpected frame kind on the control channel");
     // Worker-reported mesh traffic + the two control-channel hops.

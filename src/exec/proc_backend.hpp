@@ -20,6 +20,7 @@
 
 #include <sys/types.h>
 
+#include <atomic>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -45,13 +46,17 @@ class ProcBackend final : public Backend {
   [[nodiscard]] BackendKind kind() const override {
     return BackendKind::Proc;
   }
-  /// Rank compute runs on the controlling thread (like SeqBackend); the
-  /// worker processes only move bytes.
-  [[nodiscard]] int workers() const override { return 1; }
-
-  void step(const RankFn& fn) override {
-    for (int r = 0; r < ranks_; ++r) fn(r);
+  /// Rank compute runs in the controlling process (the worker processes
+  /// only move bytes) on the step pool's host threads.
+  [[nodiscard]] int workers() const override {
+    return pool_ != nullptr ? pool_->threads() : 1;
   }
+
+  /// Rank work runs through the shared StepPool — the same fork-join
+  /// engine ThreadBackend uses — so pack/unpack phases routed through
+  /// step() execute concurrently even though the payload bytes later
+  /// cross real process boundaries.
+  void step(const RankFn& fn) override;
 
   std::vector<std::vector<net::Message>> exchange(
       std::vector<std::vector<net::Message>> outboxes) override;
@@ -81,7 +86,14 @@ class ProcBackend final : public Backend {
 
   ProcConfig config_;
   std::vector<Worker> workers_;
-  bool broken_ = false;  ///< a wire error occurred; skip graceful shutdown
+  /// Fork-join pool for step() rank work and the pipelined exchange's
+  /// per-rank gather-sends / scatter-receives. Created at the END of the
+  /// constructor, after every fork — so no pool thread is ever alive in
+  /// a child process.
+  std::unique_ptr<StepPool> pool_;
+  /// A wire error occurred; skip graceful shutdown. Atomic because the
+  /// pipelined exchange phases run on pool threads.
+  std::atomic<bool> broken_{false};
 };
 
 /// Alpha-beta constants fitted from measured socket supersteps: least

@@ -1,12 +1,9 @@
 // ThreadBackend: the thread-per-rank SPMD engine.
 //
-// A pool of persistent workers (one per rank, or min(threads, ranks) when
-// the machine is oversubscribed) executes rank closures under a fork-join
-// generation protocol: `step()` publishes the closure, bumps a generation
-// counter and waits until every worker has run its statically striped
-// ranks (worker w owns ranks w, w+T, w+2T, ...).  The mutex/condition
-// hand-off gives the happens-before edges between consecutive steps that
-// make rank-owned data safely visible across workers.
+// A StepPool of persistent workers (one per rank, or min(threads, ranks)
+// when the machine is oversubscribed) executes rank closures under a
+// fork-join generation protocol — see exec::StepPool for the striping and
+// memory-visibility rules.
 //
 // `exchange()` keeps the deterministic (src, emission) inbox order without
 // any per-message locking: the pack phase and the collect phase are
@@ -15,10 +12,6 @@
 // order and moving out only the messages addressed to it.  Accounting
 // runs once, after the barrier, through net::account_superstep — the same
 // arithmetic as SeqBackend, so NetStats are byte-identical.
-#include <condition_variable>
-#include <exception>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "exec/backend.hpp"
@@ -31,53 +24,14 @@ namespace {
 class ThreadBackend final : public Backend {
  public:
   ThreadBackend(int ranks, net::CostModel cost, int threads)
-      : Backend(ranks, cost) {
-    int hardware = static_cast<int>(std::thread::hardware_concurrency());
-    if (hardware <= 0) hardware = 1;
-    if (threads <= 0) threads = hardware;
-    threads_ = std::min(std::max(threads, 1), ranks);
-    errors_.resize(static_cast<std::size_t>(threads_));
-    workers_.reserve(static_cast<std::size_t>(threads_));
-    for (int w = 0; w < threads_; ++w)
-      workers_.emplace_back([this, w] { worker_loop(w); });
-  }
-
-  ~ThreadBackend() override {
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      stop_ = true;
-    }
-    work_ready_.notify_all();
-    for (auto& worker : workers_) worker.join();
-  }
+      : Backend(ranks, cost), pool_(ranks, threads) {}
 
   [[nodiscard]] BackendKind kind() const override {
     return BackendKind::Thread;
   }
-  [[nodiscard]] int workers() const override { return threads_; }
+  [[nodiscard]] int workers() const override { return pool_.threads(); }
 
-  void step(const RankFn& fn) override {
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      fn_ = &fn;
-      pending_ = threads_;
-      ++generation_;
-    }
-    work_ready_.notify_all();
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      step_done_.wait(lock, [this] { return pending_ == 0; });
-      fn_ = nullptr;
-    }
-    // Rank work may throw (HPFC_ASSERT throws InternalError): rethrow the
-    // lowest-ranked worker's failure on the controlling thread.
-    for (auto& error : errors_) {
-      if (error == nullptr) continue;
-      const std::exception_ptr first = error;
-      for (auto& e : errors_) e = nullptr;
-      std::rethrow_exception(first);
-    }
-  }
+  void step(const RankFn& fn) override { pool_.run(fn); }
 
   std::vector<std::vector<net::Message>> exchange(
       std::vector<std::vector<net::Message>> outboxes) override {
@@ -112,42 +66,7 @@ class ThreadBackend final : public Backend {
   }
 
  private:
-  void worker_loop(int worker) {
-    std::uint64_t seen = 0;
-    while (true) {
-      const RankFn* fn = nullptr;
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_ready_.wait(lock,
-                         [&] { return stop_ || generation_ != seen; });
-        if (stop_) return;
-        seen = generation_;
-        fn = fn_;
-      }
-      try {
-        for (int r = worker; r < ranks_; r += threads_) (*fn)(r);
-      } catch (...) {
-        // Slot is worker-owned during a step; the barrier publishes it.
-        errors_[static_cast<std::size_t>(worker)] = std::current_exception();
-      }
-      {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        if (--pending_ == 0) step_done_.notify_one();
-      }
-    }
-  }
-
-  int threads_ = 1;
-  std::vector<std::thread> workers_;
-  std::vector<std::exception_ptr> errors_;
-
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable step_done_;
-  const RankFn* fn_ = nullptr;
-  std::uint64_t generation_ = 0;
-  int pending_ = 0;
-  bool stop_ = false;
+  StepPool pool_;
 };
 
 }  // namespace

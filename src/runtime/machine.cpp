@@ -155,7 +155,8 @@ class Machine {
         backend_(exec::make_backend(
             code != nullptr ? options.backend : exec::BackendKind::Seq,
             machine_ranks(program, options), options.cost, options.threads,
-            exec::ProcConfig{options.proc_tcp, options.proc_timeout_ms})) {
+            exec::ProcConfig{options.proc_tcp, options.proc_timeout_ms,
+                             options.no_pipeline})) {
     const std::size_t num_arrays = program_.arrays.size();
     status_.assign(num_arrays, 0);
     storage_.resize(num_arrays);
@@ -622,6 +623,25 @@ class Machine {
   /// accounting, payload reclamation by tag, mailbox-skeleton recycling —
   /// lives here exactly once so the fused and unfused paths cannot drift
   /// apart in their NetStats arithmetic.
+  /// Runs one phase's rank loop through the backend (per-rank concurrency
+  /// on thread/proc) or, under RunOptions::no_pipeline, as a plain serial
+  /// loop on the controller thread — the phased differential oracle. Both
+  /// visit every rank exactly once over rank-owned state, so results and
+  /// counters are identical by construction. Returns the phase's
+  /// wall-clock in milliseconds.
+  template <typename Fn>
+  double phase_step(const Fn& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    if (options_.no_pipeline) {
+      for (int r = 0; r < backend_->ranks(); ++r) fn(r);
+    } else {
+      backend_->step(fn);
+    }
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  }
+
   template <typename PackRank, typename UnpackMsg>
   void copy_superstep(std::vector<std::vector<double>>& payload_pool,
                       std::vector<std::vector<net::Message>>& mailbox_pool,
@@ -630,7 +650,7 @@ class Machine {
     outboxes.resize(static_cast<std::size_t>(backend_->ranks()));
     for (auto& box : outboxes) box.clear();
     std::fill(copy_tallies_.begin(), copy_tallies_.end(), CopyTally{});
-    backend_->step([&](int r) {
+    report_.pack_ms += phase_step([&](int r) {
       pack_rank(r, outboxes[static_cast<std::size_t>(r)],
                 copy_tallies_[static_cast<std::size_t>(r)]);
     });
@@ -650,9 +670,14 @@ class Machine {
     if (specialized != 0) backend_->account_specialization(0, specialized);
     report_.local_fastpath_copies += local_copies;
 
+    const auto exchange_start = std::chrono::steady_clock::now();
     auto inboxes = backend_->exchange(std::move(outboxes));
+    report_.exchange_ms += std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() -
+                               exchange_start)
+                               .count();
     std::fill(copy_tallies_.begin(), copy_tallies_.end(), CopyTally{});
-    backend_->step([&](int r) {
+    report_.unpack_ms += phase_step([&](int r) {
       CopyTally& tally = copy_tallies_[static_cast<std::size_t>(r)];
       for (const auto& msg : inboxes[static_cast<std::size_t>(r)]) {
         unpack_msg(r, msg);
@@ -1316,7 +1341,8 @@ std::string RunReport::summary() const {
      << packed_bytes << " packed bytes, " << net.summary();
   if (!backend.empty())
     os << " [" << backend << " x" << threads << ", " << exec_ms
-       << " ms wall]";
+       << " ms wall (pack " << pack_ms << " / exchange " << exchange_ms
+       << " / unpack " << unpack_ms << ")]";
   return os.str();
 }
 

@@ -83,6 +83,16 @@ struct RunOptions {
   /// differential oracle of the symbolic plan layer — see
   /// tests/test_symbolic.cpp. For tests and A/B measurements.
   bool concrete_plans = false;
+  /// Run the superstep's pack and unpack phases as plain serial loops on
+  /// the controller thread and ship proc-backend frames through the
+  /// historical encode-copy path, instead of routing them through
+  /// Backend::step (per-rank concurrency) and the scatter-gather wire
+  /// path. Results, NetStats, inbox order, and checksums are identical
+  /// either way (the differential tests and `check_bench_regression
+  /// --identical` assert it); only exec_ms and the pack_ms / exchange_ms /
+  /// unpack_ms phase timers move. The phased leg is the pipeline's
+  /// differential oracle. For tests and A/B measurements.
+  bool no_pipeline = false;
   /// Proc backend only: route the socket mesh over TCP loopback
   /// connections instead of AF_UNIX socketpairs (same frames, real
   /// network stack). An environment A/B knob.
@@ -141,6 +151,15 @@ struct RunReport {
   std::string backend;
   int threads = 0;
   double exec_ms = 0.0;
+
+  // Superstep phase timers: wall-clock accumulated over every exchange
+  // superstep's pack / exchange / unpack window (run_benches' timeout
+  // diagnostics and the pipeline A/B read them). They sum to less than
+  // exec_ms — guard evaluation, plan compilation, and local fast-path
+  // copies run outside the three windows.
+  double pack_ms = 0.0;
+  double exchange_ms = 0.0;
+  double unpack_ms = 0.0;
 
   // Real-socket traffic (exec::WireStats): zero unless the proc backend
   // ran. Deliberately outside NetStats — NetStats stay byte-identical

@@ -19,6 +19,9 @@ constexpr Toggle kToggles[] = {
     {"concrete-plans", "concrete_plans", &RunOptions::concrete_plans,
      "build every redistribution plan from concrete layouts (bypass the "
      "symbolic plan cache)"},
+    {"no-pipeline", "no_pipeline", &RunOptions::no_pipeline,
+     "run pack/exchange/unpack as serial controller phases (disable "
+     "backend-parallel pack/unpack and the scatter-gather wire path)"},
     {"paranoid", "paranoid", &RunOptions::paranoid,
      "validate the liveness invariant after every step (slow; for tests)"},
     {"proc-tcp", "proc_tcp", &RunOptions::proc_tcp,

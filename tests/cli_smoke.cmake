@@ -77,6 +77,12 @@ endif()
 if(NOT report MATCHES "\"exec_ms\": [0-9]")
   message(FATAL_ERROR "cli_smoke: report JSON missing exec_ms:\n${report}")
 endif()
+# The per-phase wall-clock split of exec_ms (pack / exchange / unpack).
+foreach(timer pack_ms exchange_ms unpack_ms)
+  if(NOT report MATCHES "\"${timer}\": [0-9]")
+    message(FATAL_ERROR "cli_smoke: report JSON missing ${timer}:\n${report}")
+  endif()
+endforeach()
 foreach(level O0 O1 O2)
   if(NOT report MATCHES "\"level\": \"${level}\"")
     message(FATAL_ERROR "cli_smoke: report JSON missing ${level} entry:\n${report}")
@@ -231,7 +237,7 @@ if(NOT toggles_status EQUAL 0)
     "${toggles_status}\nstderr:\n${toggles_err}")
 endif()
 foreach(flag force-message-path unfuse-copy-groups interpret-kernels
-        concrete-plans paranoid proc-tcp proc-timeout-ms=)
+        concrete-plans no-pipeline paranoid proc-tcp proc-timeout-ms=)
   if(NOT toggles_out MATCHES "--${flag}\t")
     message(FATAL_ERROR
       "cli_smoke: --list-toggles is missing --${flag}:\n${toggles_out}")

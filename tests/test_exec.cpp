@@ -6,13 +6,17 @@
 // The proc backend additionally proves its robustness contract: a killed
 // worker surfaces as a bounded-time ProcError diagnostic, never a hang.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
 #include <chrono>
+#include <cstring>
 #include <random>
+#include <thread>
 
 #include "driver/compiler.hpp"
 #include "exec/backend.hpp"
 #include "exec/proc_backend.hpp"
+#include "net/wire.hpp"
 #include "redist/commsets.hpp"
 #include "redist/segments.hpp"
 #include "support/check.hpp"
@@ -55,11 +59,13 @@ TEST(Backend, FactoryReportsKindRanksWorkers) {
       exec::make_backend(exec::BackendKind::Thread, 3, {}, /*threads=*/64);
   EXPECT_EQ(clamped->workers(), 3);
 
-  // Proc: compute stays on the controller; one process forked per rank.
+  // Proc: compute stays in the controlling process, spread over a step
+  // pool sized like the thread backend's; one process forked per rank.
   const auto proc = exec::make_backend(exec::BackendKind::Proc, 3);
   EXPECT_EQ(proc->kind(), exec::BackendKind::Proc);
   EXPECT_EQ(proc->ranks(), 3);
-  EXPECT_EQ(proc->workers(), 1);
+  EXPECT_GE(proc->workers(), 1);
+  EXPECT_LE(proc->workers(), 3);
   EXPECT_EQ(proc->wire().proc_spawns, 3u);
   // The in-process backends never touch a real socket.
   EXPECT_EQ(seq->wire(), exec::WireStats{});
@@ -248,6 +254,189 @@ TEST(Backend, ProcBackendPingAndCalibration) {
   const net::CostModel cost = fit.cost_model();
   EXPECT_EQ(cost.latency, fit.latency);
   EXPECT_EQ(cost.inv_bandwidth, fit.inv_bandwidth);
+}
+
+namespace wire = net::wire;
+
+std::vector<net::Message> wire_test_messages(unsigned seed, int count) {
+  std::mt19937 rng(seed);
+  std::vector<net::Message> messages;
+  for (int m = 0; m < count; ++m) {
+    net::Message msg;
+    msg.src = 1;
+    msg.dst = 2;
+    msg.tag = m;
+    msg.segments = 1 + m;
+    // Include zero-length payloads: they are legal on the wire and are
+    // the decoder's trickiest state transition.
+    msg.payload.assign(m == 0 ? 0 : rng() % 64,
+                       static_cast<double>(rng() % 1000));
+    messages.push_back(std::move(msg));
+  }
+  return messages;
+}
+
+/// The zero-copy gather encoder must put byte-for-byte the same frame on
+/// the wire as the staging encoder — stitching its iovec chunks together
+/// reproduces encode_frame's buffer exactly (same body, same checksum).
+TEST(Wire, GatherEncodeMatchesEncodeFrameByteForByte) {
+  for (int count : {0, 1, 2, 5}) {
+    const auto messages = wire_test_messages(17u + count, count);
+    wire::Tally reported;
+    reported.bytes = 12345;
+    reported.msgs = 7;
+    const auto flat =
+        wire::encode_frame(wire::FrameKind::Inbox, 3, messages, reported);
+    const auto gather = wire::encode_frame_gather(wire::FrameKind::Inbox, 3,
+                                                  messages, reported);
+    std::vector<std::uint8_t> stitched;
+    for (const auto& iov : gather.iov) {
+      const auto* base = static_cast<const std::uint8_t*>(iov.iov_base);
+      stitched.insert(stitched.end(), base, base + iov.iov_len);
+    }
+    EXPECT_EQ(stitched, flat) << "count=" << count;
+    EXPECT_EQ(gather.bytes, flat.size());
+    EXPECT_EQ(gather.msgs, static_cast<std::uint64_t>(count));
+  }
+}
+
+/// recv_all / recv_frame_scatter must reassemble a frame that dribbles in
+/// one byte at a time (worst-case short reads on a byte stream), landing
+/// every payload straight in its destination buffer and still verifying
+/// the checksum.
+TEST(Wire, ScatterReceiveReassemblesOneByteChunks) {
+  auto [ours, theirs] = wire::make_stream_pair(false);
+  const auto messages = wire_test_messages(23, 4);
+  const auto encoded =
+      wire::encode_frame(wire::FrameKind::Peer, 1, messages);
+
+  std::thread sender([&, fd = ours.fd()] {
+    for (std::size_t i = 0; i < encoded.size(); ++i) {
+      // One byte per send; sockets are non-blocking, so spin on EAGAIN.
+      for (;;) {
+        const ssize_t n = ::send(fd, encoded.data() + i, 1, MSG_NOSIGNAL);
+        if (n == 1) break;
+        ASSERT_TRUE(n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                              errno == EINTR));
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  });
+  const wire::Frame frame =
+      wire::recv_frame_scatter(theirs.fd(), 10000, "chunk test");
+  sender.join();
+
+  EXPECT_EQ(frame.kind, wire::FrameKind::Peer);
+  EXPECT_EQ(frame.src, 1);
+  EXPECT_EQ(frame.frame_bytes, encoded.size());
+  ASSERT_EQ(frame.messages.size(), messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(frame.messages[i].tag, messages[i].tag);
+    EXPECT_EQ(frame.messages[i].segments, messages[i].segments);
+    EXPECT_EQ(frame.messages[i].payload, messages[i].payload);
+  }
+}
+
+/// A truncated frame (the sender stops mid-body) must surface as a
+/// WireError within the deadline — never a hang.
+TEST(Wire, ScatterReceiveTimesOutOnTruncatedFrame) {
+  auto [ours, theirs] = wire::make_stream_pair(false);
+  const auto messages = wire_test_messages(29, 3);
+  const auto encoded =
+      wire::encode_frame(wire::FrameKind::Peer, 0, messages);
+  // Header plus half the body, then silence.
+  const std::size_t half = wire::kHeaderBytes + (encoded.size() / 2);
+  wire::send_all(ours.fd(), encoded.data(), half, 1000, "partial send");
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(
+      (void)wire::recv_frame_scatter(theirs.fd(), 300, "truncated test"),
+      wire::WireError);
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  EXPECT_LT(elapsed, 5.0) << "deadline did not bound the short read";
+}
+
+/// A corrupted payload byte must fail the streaming checksum exactly as
+/// it fails the staging decoder's.
+TEST(Wire, ScatterReceiveRejectsCorruptedBody) {
+  auto [ours, theirs] = wire::make_stream_pair(false);
+  const auto messages = wire_test_messages(31, 3);
+  auto encoded = wire::encode_frame(wire::FrameKind::Peer, 0, messages);
+  encoded.back() ^= 0x40;  // flip one payload bit past the header
+  wire::send_all(ours.fd(), encoded.data(), encoded.size(), 1000, "send");
+  EXPECT_THROW(
+      (void)wire::recv_frame_scatter(theirs.fd(), 1000, "corrupt test"),
+      wire::WireError);
+}
+
+/// The gather send path must survive a socket whose send buffer is far
+/// smaller than the frame (many partial sendmsg calls) and deliver the
+/// same bytes; the tally must account the whole frame exactly once.
+TEST(Wire, GatherSendDrainsThroughTinySendBuffer) {
+  auto [ours, theirs] = wire::make_stream_pair(false);
+  const int small = 4096;
+  ASSERT_EQ(::setsockopt(ours.fd(), SOL_SOCKET, SO_SNDBUF, &small,
+                         sizeof(small)),
+            0);
+  std::vector<net::Message> messages = wire_test_messages(37, 3);
+  messages[1].payload.assign(1 << 16, 2.5);  // ~512 KiB payload
+  const auto gather =
+      wire::encode_frame_gather(wire::FrameKind::Peer, 2, messages);
+
+  wire::Tally tally;
+  std::thread sender([&, fd = ours.fd()] {
+    wire::send_gather_frame(fd, gather, 10000, "tiny sndbuf", &tally);
+  });
+  const wire::Frame frame =
+      wire::recv_frame_scatter(theirs.fd(), 10000, "tiny sndbuf recv");
+  sender.join();
+
+  EXPECT_EQ(tally.bytes, gather.bytes);
+  EXPECT_EQ(tally.msgs, gather.msgs);
+  ASSERT_EQ(frame.messages.size(), messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i)
+    EXPECT_EQ(frame.messages[i].payload, messages[i].payload);
+}
+
+/// The pipelined (pooled scatter-gather) and phased (serial encode-copy)
+/// controller paths put the same frames on the wire: identical inboxes,
+/// NetStats, and WireStats for the same traffic.
+TEST(Backend, ProcPipelinedMatchesPhasedExchange) {
+  std::mt19937 rng(21);
+  for (const int ranks : {2, 5}) {
+    std::vector<std::vector<net::Message>> outboxes(
+        static_cast<std::size_t>(ranks));
+    for (int src = 0; src < ranks; ++src) {
+      const int count = static_cast<int>(rng() % 4);
+      for (int m = 0; m < count; ++m) {
+        net::Message msg;
+        msg.src = src;
+        msg.dst = static_cast<int>(rng() % static_cast<unsigned>(ranks));
+        msg.tag = m;
+        msg.segments = 1 + static_cast<int>(rng() % 3);
+        msg.payload.assign(rng() % 48, static_cast<double>(rng() % 100));
+        outboxes[static_cast<std::size_t>(src)].push_back(std::move(msg));
+      }
+    }
+    exec::ProcBackend piped(ranks, {}, exec::ProcConfig{});
+    exec::ProcBackend phased(ranks, {}, exec::ProcConfig{.phased = true});
+    const auto piped_in = piped.exchange(outboxes);
+    const auto phased_in = phased.exchange(outboxes);
+    ASSERT_EQ(piped_in.size(), phased_in.size());
+    for (std::size_t r = 0; r < piped_in.size(); ++r) {
+      ASSERT_EQ(piped_in[r].size(), phased_in[r].size()) << "rank " << r;
+      for (std::size_t i = 0; i < piped_in[r].size(); ++i) {
+        EXPECT_EQ(piped_in[r][i].src, phased_in[r][i].src);
+        EXPECT_EQ(piped_in[r][i].tag, phased_in[r][i].tag);
+        EXPECT_EQ(piped_in[r][i].payload, phased_in[r][i].payload);
+      }
+    }
+    EXPECT_EQ(piped.stats(), phased.stats());
+    // Same frames, byte-for-byte: the physical traffic matches too.
+    EXPECT_EQ(piped.wire(), phased.wire());
+  }
 }
 
 /// One full redistribution between testing::random_layout placements,
@@ -482,6 +671,91 @@ TEST_P(BackendPrograms, WorkerBackendsMatchSeqBackend) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BackendPrograms,
                          ::testing::Range(1u, 13u, 1u));
+
+class PipelinePrograms : public ::testing::TestWithParam<unsigned> {};
+
+/// The pipelined-vs-phased A/B on whole randomized programs: for every
+/// backend and worker count, --no-pipeline (serial controller phases +
+/// the historical encode-copy proc wire path) reproduces the pipelined
+/// run's checksums, inbox-order-dependent signatures, NetStats and wire
+/// traffic exactly. Runs at O2, so the fused copy-group exchange path is
+/// exercised wherever the generator produced a fusable remap vertex.
+TEST_P(PipelinePrograms, NoPipelineIsInvariantAcrossBackends) {
+  testing::GenConfig config;
+  config.seed = GetParam();
+  auto accepted = testing::generate_compilable(config);
+  ASSERT_TRUE(accepted.has_value()) << "no compilable program found";
+
+  testing::GenConfig regen = config;
+  regen.seed = accepted->second;
+  DiagnosticEngine diags;
+  CompileOptions options;
+  options.level = OptLevel::O2;
+  Compiled compiled =
+      driver::compile(testing::generate(regen), options, diags);
+  ASSERT_TRUE(compiled.ok) << diags.to_string();
+
+  runtime::RunOptions run_options;
+  run_options.seed = 4000 + GetParam();
+  const auto oracle = driver::run_oracle(compiled, run_options);
+
+  // The baseline everything must match: sequential, pipelined.
+  run_options.backend = exec::BackendKind::Seq;
+  const auto base = driver::run(compiled, run_options);
+  ASSERT_EQ(base.signature, oracle.signature);
+
+  for (const auto backend :
+       {exec::BackendKind::Seq, exec::BackendKind::Thread,
+        exec::BackendKind::Proc}) {
+    for (const int threads : {1, 3}) {
+      if (backend == exec::BackendKind::Seq && threads != 1) continue;
+      for (const bool no_pipeline : {false, true}) {
+        run_options.backend = backend;
+        run_options.threads = threads;
+        run_options.no_pipeline = no_pipeline;
+        const auto report = driver::run(compiled, run_options);
+        const std::string where =
+            std::string(exec::to_string(backend)) + " x" +
+            std::to_string(threads) +
+            (no_pipeline ? " --no-pipeline" : " pipelined");
+        EXPECT_EQ(report.signature, base.signature) << where;
+        EXPECT_TRUE(report.exported_values_ok) << where;
+        EXPECT_EQ(report.net, base.net)
+            << "NetStats diverged: " << where;
+        EXPECT_EQ(report.copies_performed, base.copies_performed) << where;
+        EXPECT_EQ(report.elements_copied, base.elements_copied) << where;
+        EXPECT_EQ(report.peak_bytes, base.peak_bytes) << where;
+        EXPECT_EQ(report.packed_bytes, base.packed_bytes) << where;
+        // Phase timers are filled on every leg and stay inside the
+        // run's wall-clock window.
+        EXPECT_GE(report.pack_ms, 0.0) << where;
+        EXPECT_GE(report.exchange_ms, 0.0) << where;
+        EXPECT_GE(report.unpack_ms, 0.0) << where;
+        EXPECT_LE(report.pack_ms + report.exchange_ms + report.unpack_ms,
+                  report.exec_ms * 1.01 + 0.5)
+            << where;
+        if (base.net.messages > 0 && backend == exec::BackendKind::Proc) {
+          EXPECT_GT(report.exchange_ms, 0.0) << where;
+        }
+      }
+    }
+  }
+
+  // Same program, same ranks: the wire traffic of the pipelined and
+  // phased proc runs must match byte-for-byte (same frames either way).
+  run_options.backend = exec::BackendKind::Proc;
+  run_options.threads = 0;
+  run_options.no_pipeline = false;
+  const auto piped = driver::run(compiled, run_options);
+  run_options.no_pipeline = true;
+  const auto phased = driver::run(compiled, run_options);
+  EXPECT_EQ(piped.wire_bytes, phased.wire_bytes);
+  EXPECT_EQ(piped.wire_msgs, phased.wire_msgs);
+  EXPECT_EQ(piped.proc_spawns, phased.proc_spawns);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePrograms,
+                         ::testing::Range(1u, 6u, 1u));
 
 }  // namespace
 }  // namespace hpfc

@@ -157,8 +157,25 @@ TEST(Toggles, RegistryResolvesBothSpellingsAndCoversAllFlags) {
     EXPECT_FALSE(options.*(toggle.flag)) << toggle.name
                                          << " should default to off";
   }
-  EXPECT_EQ(count, 6u);
+  EXPECT_EQ(count, 7u);
   EXPECT_EQ(runtime::find_toggle("no-such-toggle"), nullptr);
+}
+
+TEST(Toggles, NoPipelineRoundTripsThroughTheRegistry) {
+  // The pipeline toggle resolves under both spellings and drives the
+  // RunOptions flag the registry row points at.
+  const runtime::Toggle* kebab = runtime::find_toggle("no-pipeline");
+  const runtime::Toggle* snake = runtime::find_toggle("no_pipeline");
+  ASSERT_NE(kebab, nullptr);
+  EXPECT_EQ(kebab, snake);
+  EXPECT_EQ(kebab->flag, &runtime::RunOptions::no_pipeline);
+
+  runtime::RunOptions options;
+  EXPECT_FALSE(options.no_pipeline) << "pipelining must be the default";
+  EXPECT_TRUE(options.set("no-pipeline"));
+  EXPECT_TRUE(options.no_pipeline);
+  EXPECT_TRUE(options.set("no_pipeline", false));
+  EXPECT_FALSE(options.no_pipeline);
 }
 
 TEST(Toggles, RunOptionsSetAndForEach) {

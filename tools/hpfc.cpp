@@ -19,7 +19,8 @@
 // The machine flags (--backend/--threads/--ranks/--seed/
 // --proc-timeout-ms) and every A/B toggle (--force-message-path,
 // --unfuse-copy-groups, --interpret-kernels, --concrete-plans,
-// --paranoid, --proc-tcp) come from the shared support::cli surface —
+// --no-pipeline, --paranoid, --proc-tcp) come from the shared
+// support::cli surface —
 // see `hpfc --list-toggles` and src/runtime/toggles.hpp.
 #include <fstream>
 #include <iostream>
@@ -182,6 +183,9 @@ bool write_report_json(const Options& options,
         << ", \"wire_msgs\": " << l.report.wire_msgs
         << ", \"proc_spawns\": " << l.report.proc_spawns
         << ", \"exec_ms\": " << l.report.exec_ms
+        << ", \"pack_ms\": " << l.report.pack_ms
+        << ", \"exchange_ms\": " << l.report.exchange_ms
+        << ", \"unpack_ms\": " << l.report.unpack_ms
         << ", \"oracle_match\": " << (l.oracle_match ? "true" : "false")
         << "}";
   }
