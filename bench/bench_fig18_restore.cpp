@@ -1,14 +1,77 @@
 // Experiment F18 (Figure 18): the reaching mapping is saved before a call
 // with an ambiguous argument state and restored (dispatched) afterwards.
+// Doubles as the crash-recovery benchmark: the same figure runs with
+// --snapshot-dir sealing, and persist::restore() of the final sealed
+// store races a full recomputation of the run.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <vector>
 
 #include "codegen/gen.hpp"
 #include "common.hpp"
+#include "persist/snapshot.hpp"
 
 using namespace bench_common;
 using hpfc::driver::OptLevel;
 
 namespace {
+
+double median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples.empty() ? 0.0 : samples[samples.size() / 2];
+}
+
+/// Restore-vs-recompute: seal crash-consistent snapshots during a fig18
+/// run, then compare rebuilding the final store from the sealed journal
+/// against recomputing it by rerunning the whole program.
+void report_snapshot(Harness& h) {
+  banner("F18b — restoring the sealed store vs recomputing it",
+         "the run seals delta snapshots at every remap boundary; recovery "
+         "replays the journal instead of re-executing the program");
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("hpfc_bench_fig18_snapshot_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const auto compiled = compile(fig18(262144, 4), OptLevel::O2);
+  auto snapshot_options = h.run_options(1);
+  snapshot_options.snapshot_dir = dir.string();
+  const auto snapshot_run = run_checked(compiled, snapshot_options);
+  row("O2 snapshot seed=1", snapshot_run);
+
+  std::vector<double> restore_samples;
+  std::vector<double> recompute_samples;
+  const int reps = std::max(1, h.options().reps);
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto restored = hpfc::persist::restore(dir.string());
+    restore_samples.push_back(restored.restore_ms);
+    const auto start = std::chrono::steady_clock::now();
+    const auto rerun = hpfc::driver::run(compiled, h.run_options(1));
+    benchmark::DoNotOptimize(&rerun);
+    recompute_samples.push_back(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  auto metrics = metrics_from("O2", snapshot_run, /*compile_wall_ms=*/0.0,
+                              median(recompute_samples));
+  metrics.restore_ms = median(restore_samples);
+  h.record_metrics("fig18_snapshot", "restore-vs-recompute", metrics);
+  std::printf("restore %.3f ms vs recompute %.3f ms (%llu journal bytes, "
+              "%llu runs written)\n",
+              metrics.restore_ms, metrics.run_wall_ms,
+              static_cast<unsigned long long>(metrics.snapshot_bytes),
+              static_cast<unsigned long long>(metrics.snapshot_runs_written));
+  note("restore replays O(changed runs) journal deltas and verifies the "
+       "hash tree; recomputation re-executes every superstep");
+  fs::remove_all(dir);
+}
 
 void report(Harness& h) {
   banner("F18 / Figure 18 — mapping restored around a call",
@@ -35,6 +98,7 @@ void report(Harness& h) {
   }
   note("both paths and both levels agree with the oracle; O2 moves the "
        "argument directly to the next required mapping");
+  report_snapshot(h);
 }
 
 void BM_restore_run(benchmark::State& state) {

@@ -138,6 +138,10 @@ LevelMetrics metrics_from(const std::string& level, const RunReport& report,
   metrics.wire_bytes = report.wire_bytes;
   metrics.wire_msgs = report.wire_msgs;
   metrics.proc_spawns = report.proc_spawns;
+  metrics.snapshot_bytes = report.snapshot_bytes;
+  metrics.snapshot_runs_written = report.snapshot_runs_written;
+  metrics.snapshot_ms = report.snapshot_ms;
+  metrics.restore_ms = report.restore_ms;
   metrics.sim_time_ms = report.net.sim_time * 1e3;
   metrics.exec_ms = report.exec_ms;
   metrics.pack_ms = report.pack_ms;
@@ -378,6 +382,10 @@ bool Harness::write_json() const {
          << ", \"wire_bytes\": " << m.wire_bytes
          << ", \"wire_msgs\": " << m.wire_msgs
          << ", \"proc_spawns\": " << m.proc_spawns
+         << ", \"snapshot_bytes\": " << m.snapshot_bytes
+         << ", \"snapshot_runs_written\": " << m.snapshot_runs_written
+         << ", \"snapshot_ms\": " << m.snapshot_ms
+         << ", \"restore_ms\": " << m.restore_ms
          << ", \"sim_time_ms\": " << m.sim_time_ms
          << ", \"exec_ms\": " << m.exec_ms
          << ", \"pack_ms\": " << m.pack_ms

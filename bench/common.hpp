@@ -95,6 +95,16 @@ struct LevelMetrics {
   std::uint64_t wire_bytes = 0;
   std::uint64_t wire_msgs = 0;
   std::uint64_t proc_spawns = 0;
+  /// Crash-consistent snapshot work (zero unless the bench sets
+  /// RunOptions::snapshot_dir). Bytes and runs count the journal deltas
+  /// and are byte-identical across execution backends — they ARE in the
+  /// `--identical` comparison set; the two timings are host wall-clock.
+  std::uint64_t snapshot_bytes = 0;
+  std::uint64_t snapshot_runs_written = 0;
+  double snapshot_ms = 0.0;
+  /// Host time of persist::restore() rebuilding the sealed store; filled
+  /// by benches that time a restore against the run (bench_fig18_restore).
+  double restore_ms = 0.0;
   double sim_time_ms = 0.0;              ///< simulated machine time
   /// Host wall-clock time of the machine execution itself, as measured
   /// inside the runtime (median over repetitions): the number that drops

@@ -152,8 +152,10 @@ class Generator {
 
     Op not_live = make(OpKind::IfNotLive, a, leaving);
     OpList live_body;
+    // value_needed covers may_read and adds the pass-through case: an
+    // {N, D} branch-merged label whose N path feeds a later consumer.
     const bool needs_data =
-        label.use.may_read || !options_.skip_dead_transfers;
+        label.value_needed || !options_.skip_dead_transfers;
     if (needs_data) {
       for (const int src : label.reaching) {
         if (src == leaving) continue;

@@ -5,11 +5,16 @@
 namespace hpfc::ir {
 
 EffectMap merge(const EffectMap& a, const EffectMap& b) {
+  // An array absent from one side has Use::none() on that path; the merge
+  // must record that the value passes through unscreened there (a one-sided
+  // D must not claim "redefined on every path").
   EffectMap result = a;
   for (const auto& [array, use] : b) {
-    auto [it, inserted] = result.try_emplace(array, use);
+    auto [it, inserted] = result.try_emplace(array, use.merge(Use::none()));
     if (!inserted) it->second = it->second.merge(use);
   }
+  for (auto& [array, use] : result)
+    if (b.find(array) == b.end()) use = use.merge(Use::none());
   return result;
 }
 

@@ -24,11 +24,17 @@ namespace hpfc::ir {
 struct Use {
   bool may_read = false;
   bool may_write = false;
+  /// Some path to the next remapping point neither reads nor fully
+  /// overwrites the incoming value: it flows through to later consumers.
+  /// A pure D screens (passes=false), but merge(N, D) keeps passes=true —
+  /// the letter alone would claim "fully redefined on every path" and
+  /// license skipping a transfer whose value the N path still carries.
+  bool passes = true;
 
-  static constexpr Use none() { return {false, false}; }      // N
-  static constexpr Use full_def() { return {false, true}; }   // D
-  static constexpr Use read() { return {true, false}; }       // R
-  static constexpr Use write() { return {true, true}; }       // W
+  static constexpr Use none() { return {false, false, true}; }       // N
+  static constexpr Use full_def() { return {false, true, false}; }   // D
+  static constexpr Use read() { return {true, false, true}; }        // R
+  static constexpr Use write() { return {true, true, true}; }        // W
 
   [[nodiscard]] bool is_none() const { return !may_read && !may_write; }
 
@@ -40,15 +46,19 @@ struct Use {
 
   /// Merge over distinct control paths (may-analysis union).
   [[nodiscard]] Use merge(Use other) const {
-    return {may_read || other.may_read, may_write || other.may_write};
+    return {may_read || other.may_read, may_write || other.may_write,
+            passes || other.passes};
   }
 
   /// Sequential composition: `this` happens first, then `after`.
   /// A full redefinition (D) screens everything behind it: later uses see
-  /// the new values, so the incoming values are still not needed.
+  /// the new values, so the incoming values are still not needed. A merged
+  /// D that still passes on some path does NOT screen: that path's later
+  /// reads see the incoming value.
   [[nodiscard]] Use then(Use after) const {
-    if (may_write && !may_read) return full_def();
-    return {may_read || after.may_read, may_write || after.may_write};
+    if (may_write && !may_read && !passes) return full_def();
+    return {may_read || after.may_read, may_write || after.may_write,
+            passes && after.passes};
   }
 
   friend bool operator==(const Use&, const Use&) = default;

@@ -1,7 +1,9 @@
 #include "opt/passes.hpp"
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <utility>
 
 #include "support/check.hpp"
 
@@ -53,14 +55,60 @@ void remove_useless_remappings(remap::Analysis& analysis, OptReport& report) {
     }
   }
 
-  // Phase 1 (Appendix C): delete leaving mappings whose use is N.
+  // Backward value-liveness fixpoint: value_needed(v, a) holds when the
+  // array value arriving at v is read at or after v before being fully
+  // redefined on some path. A genuine all-paths full def (D, passes=false)
+  // screens downstream need; N and merged-D labels pass the value through,
+  // so the need of their successors flows back. Codegen consults the
+  // result for the §5.2 dead-transfer skip: without it a D label merged
+  // from an {N, D} branch pair would skip a copy whose value the N path
+  // still carries into a later consumer (the seed-306 divergence).
+  std::map<std::pair<int, ArrayId>, bool> value_needed;
+  {
+    bool needed_changed = true;
+    while (needed_changed) {
+      needed_changed = false;
+      for (RemapVertex& v : graph.vertices()) {
+        for (auto& [a, label] : v.arrays) {
+          bool needed = label.use.may_read;
+          if (!needed && label.use.passes) {
+            for (const int e : graph.out_edges(v.id)) {
+              const auto& edge = graph.edges()[static_cast<std::size_t>(e)];
+              if (!edge_has(edge, a)) continue;
+              const RemapVertex& succ = graph.vertex(edge.to);
+              if (succ.arrays.find(a) == succ.arrays.end()) continue;
+              if (value_needed[{succ.id, a}]) {
+                needed = true;
+                break;
+              }
+            }
+          }
+          bool& slot = value_needed[{v.id, a}];
+          if (needed && !slot) {
+            slot = true;
+            needed_changed = true;
+          }
+        }
+      }
+    }
+    for (RemapVertex& v : graph.vertices())
+      for (auto& [a, label] : v.arrays)
+        label.value_needed = value_needed[{v.id, a}];
+  }
+
+  // Phase 1 (Appendix C): delete leaving mappings whose use is N. An
+  // *origin* label (empty reaching set: the entry materialization of the
+  // array's initial values) is the bottom of every reaching chain, so it
+  // survives whenever the value is still live downstream — removing it
+  // would orphan every consumer that re-sources through removed vertices
+  // (the seed-305 class of bug: entry label N, later call-site copy W).
   for (RemapVertex& v : graph.vertices()) {
     bool active_before = false;
     bool active_after = false;
     for (auto& [a, label] : v.arrays) {
-      (void)a;
       if (kept(label)) active_before = true;
-      if (!label.leaving.empty() && label.use.is_none() && !label.removed) {
+      if (!label.leaving.empty() && label.use.is_none() && !label.removed &&
+          !(label.reaching.empty() && label.value_needed)) {
         label.removed = true;
         ++report.removed_remappings;
       }

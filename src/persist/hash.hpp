@@ -1,0 +1,58 @@
+// FNV-1a hashing and the snapshot hash tree over the versioned array
+// store. The tree mirrors the store's structure:
+//
+//   leaf                 one owned run's element bytes (mapping::OwnedRun
+//                        geometry: the run is a contiguous local stretch)
+//   rank hash            fold over the rank's run leaves, in run order
+//   version hash         the (allocated, live) flags, then — when
+//                        allocated — a fold over the rank hashes
+//   array root           the array's runtime status, then a fold over its
+//                        version hashes in version order
+//
+// Both the snapshot writer and the restore path compute the same tree
+// from their own side of the journal, so "restored bit-identically" is
+// checkable as root equality, and the roots are byte-identical across
+// execution backends by the runtime's determinism contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hpfc::persist {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// FNV-1a over a byte range, continuing from `h`.
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t len,
+                                  std::uint64_t h = kFnvOffset);
+
+/// Folds one 64-bit value (a child hash or a scalar) into `h`.
+[[nodiscard]] std::uint64_t fnv1a_u64(std::uint64_t value,
+                                      std::uint64_t h = kFnvOffset);
+
+/// FNV-1a folding `n_words` native-endian 64-bit words, one XOR-multiply
+/// per word — 8x fewer multiplies than the byte loop on bulk data. The
+/// words are read with memcpy, so `data` need not be aligned.
+[[nodiscard]] std::uint64_t fnv1a_words(const void* data, std::size_t n_words,
+                                        std::uint64_t h = kFnvOffset);
+
+/// Leaf hash of one owned run: a word-wise FNV-1a fold over the bit
+/// patterns of its `len` doubles.
+[[nodiscard]] std::uint64_t leaf_hash(const double* values, std::size_t len);
+
+/// Rank hash: fold over the rank's run leaves in run order.
+[[nodiscard]] std::uint64_t rank_hash(const std::vector<std::uint64_t>& leaves);
+
+/// Version hash: the storage flags, then each rank's hash in rank order.
+/// An unallocated version hashes its flags only (`rank_hashes` ignored).
+[[nodiscard]] std::uint64_t version_hash(
+    bool allocated, bool live, const std::vector<std::uint64_t>& rank_hashes);
+
+/// Array root: the runtime status descriptor, then every version hash in
+/// version order.
+[[nodiscard]] std::uint64_t array_root(
+    int status, const std::vector<std::uint64_t>& version_hashes);
+
+}  // namespace hpfc::persist

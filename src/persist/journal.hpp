@@ -1,0 +1,161 @@
+// Append-only snapshot journal with torn-write detection.
+//
+// Record framing (all integers little-endian):
+//
+//   u32  magic     0x4850'4a31 ("HPJ1")
+//   u32  type      RecordType
+//   u64  payload_len
+//   u8   payload[payload_len]
+//   u64  checksum  FNV-1a over (type, payload_len, payload); the payload
+//                  folds 64-bit word at a time with a byte-wise tail
+//
+// A reader scans records sequentially; a record whose header, payload,
+// or checksum is truncated or corrupt terminates the scan (torn tail).
+// The sidecar manifest records the byte length of the journal at the
+// last seal and is replaced by atomic rename, so the manifest is either
+// the previous seal or the new one — never a partial write.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hpfc::persist {
+
+/// Any persistence failure that is NOT an ordinary torn tail: sealed
+/// data that fails its checksum, a manifest pointing past the readable
+/// journal, or an I/O error.
+class PersistError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class RecordType : std::uint32_t {
+  kRunData = 1,  ///< one owned run's geometry + element bytes
+  kCommit = 2,   ///< seals an epoch: store metadata + hash-tree roots
+};
+
+/// Little-endian serializer for record payloads.
+class ByteWriter {
+ public:
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void doubles(const double* values, std::size_t len);
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Little-endian deserializer; throws PersistError on underflow.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t len)
+      : data_(data), len_(len) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  void doubles(double* values, std::size_t len);
+  [[nodiscard]] bool done() const { return pos_ == len_; }
+
+ private:
+  void need(std::size_t n) const;
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+/// One intact record. The payload is a borrowed window into the owning
+/// ScanResult's journal image (no per-record copy — restore replays
+/// hundreds of thousands of records).
+struct Record {
+  RecordType type = RecordType::kRunData;
+  std::uint64_t payload_offset = 0;  ///< into ScanResult::bytes
+  std::uint64_t payload_len = 0;
+  std::uint64_t end_offset = 0;  ///< journal byte offset just past this record
+};
+
+struct ScanResult {
+  std::vector<std::uint8_t> bytes;  ///< the journal image records point into
+  std::vector<Record> records;
+  std::uint64_t consistent_bytes = 0;  ///< end of the last intact record
+  bool torn_tail = false;  ///< bytes past consistent_bytes were discarded
+
+  [[nodiscard]] const std::uint8_t* payload(const Record& r) const {
+    return bytes.data() + r.payload_offset;
+  }
+  [[nodiscard]] ByteReader reader(const Record& r) const {
+    return {payload(r), static_cast<std::size_t>(r.payload_len)};
+  }
+};
+
+/// Reads every intact record from the front of the journal. A missing
+/// file scans as empty; a torn or corrupt tail sets `torn_tail` and
+/// keeps the intact prefix.
+[[nodiscard]] ScanResult scan_journal(const std::string& path);
+
+/// One framed record parsed in place from a byte window.
+struct FrameView {
+  RecordType type = RecordType::kRunData;
+  const std::uint8_t* payload = nullptr;
+  std::size_t payload_len = 0;
+  std::size_t frame_len = 0;  ///< header + payload + checksum
+};
+
+/// Parses and checksum-verifies one record at `data` (`avail` readable
+/// bytes). Returns nullopt on truncation, bad magic, or bad checksum —
+/// the torn-tail conditions.
+[[nodiscard]] std::optional<FrameView> parse_frame(const std::uint8_t* data,
+                                                   std::size_t avail);
+
+struct Manifest {
+  std::uint64_t epoch = 0;
+  std::uint64_t sealed_bytes = 0;
+  /// Journal offset of the Commit record that sealed `epoch` — the
+  /// entry point for the O(live-data) restore fast path.
+  std::uint64_t commit_offset = 0;
+};
+
+/// Reads the sealed manifest; nullopt when absent or unreadable (a crash
+/// before the first seal leaves no manifest).
+[[nodiscard]] std::optional<Manifest> read_manifest(const std::string& dir);
+
+/// Appends framed records to the journal and seals epochs through the
+/// manifest. Created fresh per run: truncates any previous journal and
+/// manifest in the directory (creating the directory if needed).
+class JournalWriter {
+ public:
+  explicit JournalWriter(std::string dir);
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Appends one framed record (buffered until seal()).
+  void append(RecordType type, const std::vector<std::uint8_t>& payload);
+
+  /// Flushes the journal to disk, then publishes {epoch, length, commit
+  /// offset} by writing manifest.tmp and renaming it over the manifest.
+  /// `commit_offset` is the journal offset where the sealing Commit
+  /// record starts (its bytes_written() before that append).
+  void seal(std::uint64_t epoch, std::uint64_t commit_offset);
+
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+
+  static std::string journal_path(const std::string& dir);
+  static std::string manifest_path(const std::string& dir);
+
+ private:
+  std::string dir_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace hpfc::persist

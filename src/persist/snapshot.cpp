@@ -1,0 +1,626 @@
+#include "persist/snapshot.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+#include "persist/hash.hpp"
+
+namespace hpfc::persist {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Commit payload image, shared by the writer and the restore path.
+struct CommitBody {
+  std::uint64_t epoch = 0;
+  std::uint64_t write_counter = 0;
+  std::vector<std::int64_t> status;
+  std::vector<std::int64_t> saved;
+  struct VersionEntry {
+    int array = 0;
+    int version = 0;
+    bool allocated = false;
+    bool live = false;
+    std::uint64_t hash = 0;
+  };
+  std::vector<VersionEntry> versions;
+  std::vector<std::pair<int, std::uint64_t>> roots;
+  /// Replay directory: for every rank owning runs of a live version, the
+  /// journal location of each run's winning RunData record, in run-index
+  /// order. Restore with an intact manifest reads exactly these windows
+  /// instead of scanning the whole journal.
+  struct DirRank {
+    int array = 0;
+    int version = 0;
+    int rank = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> records;
+  };
+  std::vector<DirRank> directory;
+};
+
+std::vector<std::uint8_t> encode_commit(const CommitBody& body) {
+  ByteWriter w;
+  w.u64(body.epoch);
+  w.u64(body.write_counter);
+  w.u64(body.status.size());
+  for (const std::int64_t s : body.status) w.i64(s);
+  w.u64(body.saved.size());
+  for (const std::int64_t s : body.saved) w.i64(s);
+  w.u64(body.versions.size());
+  for (const auto& v : body.versions) {
+    w.u32(static_cast<std::uint32_t>(v.array));
+    w.u32(static_cast<std::uint32_t>(v.version));
+    w.u32((v.allocated ? 1u : 0u) | (v.live ? 2u : 0u));
+    w.u64(v.hash);
+  }
+  w.u64(body.roots.size());
+  for (const auto& [array, root] : body.roots) {
+    w.u32(static_cast<std::uint32_t>(array));
+    w.u64(root);
+  }
+  w.u64(body.directory.size());
+  for (const auto& e : body.directory) {
+    w.u32(static_cast<std::uint32_t>(e.array));
+    w.u32(static_cast<std::uint32_t>(e.version));
+    w.u32(static_cast<std::uint32_t>(e.rank));
+    w.u64(e.records.size());
+    for (const auto& [offset, len] : e.records) {
+      w.u64(offset);
+      w.u64(len);
+    }
+  }
+  return w.bytes();
+}
+
+CommitBody decode_commit(ByteReader r) {
+  CommitBody body;
+  body.epoch = r.u64();
+  body.write_counter = r.u64();
+  body.status.resize(r.u64());
+  for (auto& s : body.status) s = r.i64();
+  body.saved.resize(r.u64());
+  for (auto& s : body.saved) s = r.i64();
+  body.versions.resize(r.u64());
+  for (auto& v : body.versions) {
+    v.array = static_cast<int>(r.u32());
+    v.version = static_cast<int>(r.u32());
+    const std::uint32_t flags = r.u32();
+    v.allocated = (flags & 1u) != 0;
+    v.live = (flags & 2u) != 0;
+    v.hash = r.u64();
+  }
+  body.roots.resize(r.u64());
+  for (auto& [array, root] : body.roots) {
+    array = static_cast<int>(r.u32());
+    root = r.u64();
+  }
+  body.directory.resize(r.u64());
+  for (auto& e : body.directory) {
+    e.array = static_cast<int>(r.u32());
+    e.version = static_cast<int>(r.u32());
+    e.rank = static_cast<int>(r.u32());
+    e.records.resize(r.u64());
+    for (auto& [offset, len] : e.records) {
+      offset = r.u64();
+      len = r.u64();
+    }
+  }
+  if (!r.done()) throw PersistError("persist: trailing bytes in commit record");
+  return body;
+}
+
+/// RunData header size: array, version, rank, run_index (u32 each) plus
+/// the four i64 geometry fields; the values follow in place.
+constexpr std::size_t kRunHeaderBytes = 4 * 4 + 4 * 8;
+
+/// Borrowed view of one RunData record — the values stay in the read
+/// journal window until (and unless) the record wins its slot.
+struct RunRef {
+  int array = 0;
+  int version = 0;
+  int rank = 0;
+  std::uint32_t run_index = 0;
+  mapping::OwnedRun geometry;
+  const std::uint8_t* values = nullptr;  ///< geometry.len raw doubles
+};
+
+RunRef decode_run(const std::uint8_t* payload, std::size_t len) {
+  ByteReader r(payload, len);
+  RunRef body;
+  body.array = static_cast<int>(r.u32());
+  body.version = static_cast<int>(r.u32());
+  body.rank = static_cast<int>(r.u32());
+  body.run_index = r.u32();
+  body.geometry.local_base = static_cast<mapping::Index>(r.i64());
+  body.geometry.global_base = static_cast<mapping::Index>(r.i64());
+  body.geometry.global_stride = static_cast<mapping::Extent>(r.i64());
+  body.geometry.len = static_cast<mapping::Extent>(r.i64());
+  if (body.geometry.len < 0 || body.geometry.local_base < 0)
+    throw PersistError("persist: negative run geometry");
+  if (len != kRunHeaderBytes +
+                 static_cast<std::size_t>(body.geometry.len) * sizeof(double))
+    throw PersistError("persist: trailing bytes in run record");
+  body.values = payload + kRunHeaderBytes;
+  return body;
+}
+
+}  // namespace
+
+// ---- SnapshotWriter ----------------------------------------------------
+
+SnapshotWriter::SnapshotWriter(std::string dir)
+    : journal_(std::move(dir)) {}
+
+void SnapshotWriter::snapshot(const StoreView& view) {
+  const auto start = Clock::now();
+  const std::uint64_t bytes_before = journal_.bytes_written();
+
+  CommitBody commit;
+  commit.epoch = ++epoch_;
+  commit.write_counter = view.write_counter;
+  commit.status.assign(view.status->begin(), view.status->end());
+  commit.saved.assign(view.saved->begin(), view.saved->end());
+
+  // Delta phase: write runs whose leaf hash changed since the last seal.
+  for (const VersionView& v : view.versions) {
+    const std::pair<int, int> key{v.array, v.version};
+    if (!v.allocated) {
+      leaves_.erase(key);
+      continue;
+    }
+    auto& cached = leaves_[key];
+    const std::size_t ranks = v.runs.size();
+    const bool fresh = cached.size() != ranks;
+    if (fresh) cached.assign(ranks, {});
+    for (std::size_t rank = 0; rank < ranks; ++rank) {
+      const std::vector<mapping::OwnedRun>& runs = *v.runs[rank];
+      auto& rank_cache = cached[rank];
+      const bool force = fresh || rank_cache.size() != runs.size();
+      if (force) rank_cache.assign(runs.size(), {});
+      if (!force && !v.dirty) continue;
+      const std::vector<double>& local = (*v.locals)[rank];
+      for (std::size_t i = 0; i < runs.size(); ++i) {
+        const mapping::OwnedRun& run = runs[i];
+        const std::uint64_t leaf =
+            leaf_hash(local.data() + run.local_base,
+                      static_cast<std::size_t>(run.len));
+        if (!force && rank_cache[i].hash == leaf) continue;
+        ByteWriter w;
+        w.u32(static_cast<std::uint32_t>(v.array));
+        w.u32(static_cast<std::uint32_t>(v.version));
+        w.u32(static_cast<std::uint32_t>(rank));
+        w.u32(static_cast<std::uint32_t>(i));
+        w.i64(run.local_base);
+        w.i64(run.global_base);
+        w.i64(run.global_stride);
+        w.i64(run.len);
+        w.doubles(local.data() + run.local_base,
+                  static_cast<std::size_t>(run.len));
+        const std::uint64_t offset = journal_.bytes_written();
+        journal_.append(RecordType::kRunData, w.bytes());
+        rank_cache[i] = {leaf, offset, journal_.bytes_written() - offset};
+        ++stats_.runs_written;
+      }
+    }
+  }
+
+  // Hash tree from the (now current) cached leaves, in view order.
+  int current_array = -1;
+  std::vector<std::uint64_t> version_hashes;
+  const auto flush_root = [&] {
+    if (current_array < 0) return;
+    const int status = static_cast<int>(
+        commit.status[static_cast<std::size_t>(current_array)]);
+    commit.roots.emplace_back(current_array,
+                              array_root(status, version_hashes));
+    version_hashes.clear();
+  };
+  for (const VersionView& v : view.versions) {
+    if (v.array != current_array) {
+      flush_root();
+      current_array = v.array;
+    }
+    std::uint64_t vh = 0;
+    if (v.allocated) {
+      // Ranks owning no run of this version are skipped (they journal
+      // nothing, so restore cannot see them); each kept hash is bound to
+      // its rank index so rank identity survives the gaps. The same walk
+      // emits the replay directory: each live run's winning record.
+      std::vector<std::uint64_t> rank_hashes;
+      const auto& cached = leaves_.at({v.array, v.version});
+      for (std::size_t rank = 0; rank < cached.size(); ++rank) {
+        const auto& rank_cache = cached[rank];
+        if (rank_cache.empty()) continue;
+        CommitBody::DirRank entry;
+        entry.array = v.array;
+        entry.version = v.version;
+        entry.rank = static_cast<int>(rank);
+        entry.records.reserve(rank_cache.size());
+        std::vector<std::uint64_t> rank_leaves;
+        rank_leaves.reserve(rank_cache.size());
+        for (const auto& leaf : rank_cache) {
+          rank_leaves.push_back(leaf.hash);
+          entry.records.emplace_back(leaf.offset, leaf.bytes);
+        }
+        rank_hashes.push_back(fnv1a_u64(rank, rank_hash(rank_leaves)));
+        commit.directory.push_back(std::move(entry));
+      }
+      vh = version_hash(true, v.live, rank_hashes);
+    } else {
+      vh = version_hash(false, v.live, {});
+    }
+    version_hashes.push_back(vh);
+    commit.versions.push_back({v.array, v.version, v.allocated, v.live, vh});
+  }
+  flush_root();
+
+  const std::uint64_t commit_offset = journal_.bytes_written();
+  journal_.append(RecordType::kCommit, encode_commit(commit));
+  journal_.seal(epoch_, commit_offset);
+  stats_.bytes += journal_.bytes_written() - bytes_before;
+  stats_.epochs = epoch_;
+  stats_.ms += ms_since(start);
+}
+
+// ---- restore -----------------------------------------------------------
+
+namespace {
+
+/// Replayed winning runs, grouped per (array, version) then rank
+/// (ascending), plus the byte windows the RunRefs borrow from.
+struct Replay {
+  std::vector<std::vector<std::uint8_t>> buffers;
+  std::map<std::pair<int, int>,
+           std::vector<std::pair<std::size_t, std::vector<RunRef>>>>
+      runs;
+};
+
+/// Rebuilds the store from a commit plus its replayed winning runs, and
+/// verifies every recomputed version hash and array root against the
+/// sealed values — shared by the directory fast path and the scan path.
+RestoredStore rebuild_store(const CommitBody& commit, const Replay& replay,
+                            bool torn_tail) {
+  RestoredStore out;
+  out.valid = true;
+  out.torn_tail = torn_tail;
+  out.epoch = commit.epoch;
+  out.write_counter = commit.write_counter;
+  out.status.reserve(commit.status.size());
+  for (const std::int64_t s : commit.status)
+    out.status.push_back(static_cast<int>(s));
+  out.saved.reserve(commit.saved.size());
+  for (const std::int64_t s : commit.saved)
+    out.saved.push_back(static_cast<int>(s));
+
+  int current_array = -1;
+  std::vector<std::uint64_t> version_hashes;
+  const auto flush_root = [&] {
+    if (current_array < 0) return;
+    const int status = out.status[static_cast<std::size_t>(current_array)];
+    out.roots[current_array] = array_root(status, version_hashes);
+    version_hashes.clear();
+  };
+  for (const auto& entry : commit.versions) {
+    if (entry.array != current_array) {
+      flush_root();
+      current_array = entry.array;
+    }
+    RestoredVersion version;
+    version.array = entry.array;
+    version.version = entry.version;
+    version.allocated = entry.allocated;
+    version.live = entry.live;
+    std::uint64_t vh = 0;
+    if (entry.allocated) {
+      const auto found = replay.runs.find({entry.array, entry.version});
+      std::vector<std::uint64_t> rank_hashes;
+      if (found != replay.runs.end()) {
+        std::vector<std::uint64_t> rank_leaves;
+        for (const auto& [rank, winning] : found->second) {
+          rank_leaves.clear();
+          auto& local = version.locals[static_cast<int>(rank)];
+          auto& runs = version.runs[static_cast<int>(rank)];
+          runs.reserve(winning.size());
+          for (const RunRef& run : winning) {
+            const auto n = static_cast<std::size_t>(run.geometry.len);
+            RestoredRun restored;
+            restored.geometry = run.geometry;
+            restored.values.resize(n);
+            std::memcpy(restored.values.data(), run.values,
+                        n * sizeof(double));
+            rank_leaves.push_back(leaf_hash(restored.values.data(), n));
+            const auto end =
+                static_cast<std::size_t>(run.geometry.local_base) + n;
+            if (local.size() < end) local.resize(end, 0.0);
+            std::copy(restored.values.begin(), restored.values.end(),
+                      local.begin() + run.geometry.local_base);
+            runs.push_back(std::move(restored));
+          }
+          rank_hashes.push_back(fnv1a_u64(rank, rank_hash(rank_leaves)));
+        }
+      }
+      vh = version_hash(true, entry.live, rank_hashes);
+    } else {
+      vh = version_hash(false, entry.live, {});
+    }
+    if (vh != entry.hash)
+      throw PersistError(
+          "persist: restored version hash mismatch for array " +
+          std::to_string(entry.array) + " version " +
+          std::to_string(entry.version) + " (sealed data corrupted)");
+    version.hash = vh;
+    version_hashes.push_back(vh);
+    out.versions.push_back(std::move(version));
+  }
+  flush_root();
+
+  for (const auto& [array, root] : commit.roots) {
+    const auto found = out.roots.find(array);
+    if (found == out.roots.end() || found->second != root)
+      throw PersistError("persist: restored root mismatch for array " +
+                         std::to_string(array) + " (sealed data corrupted)");
+  }
+  return out;
+}
+
+/// Reads and verifies the winning records named by a commit's replay
+/// directory. Nearby records coalesce into one read, so the I/O is
+/// O(live data) regardless of how much dead delta history precedes the
+/// seal. Every referenced record must lie before `limit` (the commit's
+/// own offset) and parse intact, or the directory is corrupt.
+Replay replay_directory(std::ifstream& in, const CommitBody& commit,
+                        std::uint64_t limit, const std::string& dir) {
+  Replay replay;
+  struct Pending {
+    std::uint64_t offset = 0;
+    std::uint64_t len = 0;
+    RunRef* slot = nullptr;
+    const CommitBody::DirRank* entry = nullptr;
+    std::uint32_t run_index = 0;
+  };
+  std::vector<Pending> pending;
+  for (const auto& e : commit.directory) {
+    auto& ranks = replay.runs[{e.array, e.version}];
+    ranks.emplace_back(static_cast<std::size_t>(e.rank),
+                       std::vector<RunRef>(e.records.size()));
+    auto& runs = ranks.back().second;
+    for (std::size_t i = 0; i < e.records.size(); ++i) {
+      const auto [offset, len] = e.records[i];
+      if (len == 0 || offset + len > limit || offset + len < offset)
+        throw PersistError(
+            "persist: replay directory points past the seal in " + dir);
+      pending.push_back(
+          {offset, len, &runs[i], &e, static_cast<std::uint32_t>(i)});
+    }
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const Pending& a, const Pending& b) {
+              return a.offset < b.offset;
+            });
+  // Merge windows whose gap is under a page-ish threshold: winners from
+  // the same epoch are contiguous, so a typical restore is a few reads.
+  constexpr std::uint64_t kMergeGap = 4096;
+  std::size_t i = 0;
+  while (i < pending.size()) {
+    const std::uint64_t begin = pending[i].offset;
+    std::uint64_t end = pending[i].offset + pending[i].len;
+    std::size_t j = i + 1;
+    while (j < pending.size() && pending[j].offset <= end + kMergeGap) {
+      end = std::max(end, pending[j].offset + pending[j].len);
+      ++j;
+    }
+    auto& window = replay.buffers.emplace_back(
+        static_cast<std::size_t>(end - begin));
+    in.clear();
+    in.seekg(static_cast<std::streamoff>(begin));
+    in.read(reinterpret_cast<char*>(window.data()),
+            static_cast<std::streamsize>(window.size()));
+    if (static_cast<std::uint64_t>(in.gcount()) != window.size())
+      throw PersistError("persist: journal read failed in " + dir);
+    for (; i < j; ++i) {
+      const Pending& p = pending[i];
+      const auto frame = parse_frame(
+          window.data() + (p.offset - begin), static_cast<std::size_t>(p.len));
+      if (!frame || frame->type != RecordType::kRunData ||
+          frame->frame_len != p.len)
+        throw PersistError(
+            "persist: replay directory record is corrupt in " + dir);
+      RunRef run = decode_run(frame->payload, frame->payload_len);
+      if (run.array != p.entry->array || run.version != p.entry->version ||
+          run.rank != p.entry->rank || run.run_index != p.run_index)
+        throw PersistError(
+            "persist: replay directory record identity mismatch in " + dir);
+      *p.slot = run;
+    }
+  }
+  return replay;
+}
+
+/// Manifest-guided restore: read the sealing commit directly, check the
+/// short unsealed suffix for a newer sealed-but-unpublished commit, then
+/// replay only the directory's winning records.
+RestoredStore fast_restore(const std::string& dir, const Manifest& manifest) {
+  std::ifstream in(JournalWriter::journal_path(dir), std::ios::binary);
+  std::uint64_t size = 0;
+  if (in) {
+    in.seekg(0, std::ios::end);
+    size = static_cast<std::uint64_t>(in.tellg());
+  }
+  if (!in || manifest.sealed_bytes > size ||
+      manifest.commit_offset >= manifest.sealed_bytes)
+    throw PersistError(
+        "persist: manifest points past the intact journal (sealed data "
+        "corrupted) in " +
+        dir);
+
+  const auto read_window = [&](std::uint64_t offset, std::uint64_t len) {
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(len));
+    in.clear();
+    in.seekg(static_cast<std::streamoff>(offset));
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(len));
+    if (static_cast<std::uint64_t>(in.gcount()) != len)
+      throw PersistError("persist: journal read failed in " + dir);
+    return bytes;
+  };
+
+  const auto commit_window = read_window(
+      manifest.commit_offset, manifest.sealed_bytes - manifest.commit_offset);
+  const auto sealed_frame =
+      parse_frame(commit_window.data(), commit_window.size());
+  if (!sealed_frame || sealed_frame->type != RecordType::kCommit ||
+      sealed_frame->frame_len != commit_window.size())
+    throw PersistError(
+        "persist: manifest commit record is corrupt (sealed data corrupted) "
+        "in " +
+        dir);
+  const CommitBody sealed_commit = decode_commit(
+      ByteReader(sealed_frame->payload, sealed_frame->payload_len));
+  if (sealed_commit.epoch != manifest.epoch)
+    throw PersistError("persist: manifest epoch " +
+                       std::to_string(manifest.epoch) +
+                       " does not match its commit record (epoch " +
+                       std::to_string(sealed_commit.epoch) + ") in " + dir);
+
+  // A crash between the journal fsync and the manifest rename leaves a
+  // newer sealed commit past the manifest — the last intact one in the
+  // (short) suffix wins, exactly as in the full scan.
+  std::optional<CommitBody> suffix_commit;
+  std::uint64_t suffix_commit_start = 0;
+  std::uint64_t suffix_commit_end = 0;
+  if (size > manifest.sealed_bytes) {
+    const auto suffix =
+        read_window(manifest.sealed_bytes, size - manifest.sealed_bytes);
+    std::size_t pos = 0;
+    while (pos < suffix.size()) {
+      const auto frame =
+          parse_frame(suffix.data() + pos, suffix.size() - pos);
+      if (!frame) break;
+      if (frame->type == RecordType::kCommit) {
+        suffix_commit = decode_commit(
+            ByteReader(frame->payload, frame->payload_len));
+        suffix_commit_start = manifest.sealed_bytes + pos;
+        suffix_commit_end = suffix_commit_start + frame->frame_len;
+      }
+      pos += frame->frame_len;
+    }
+  }
+
+  if (suffix_commit) {
+    try {
+      const Replay replay =
+          replay_directory(in, *suffix_commit, suffix_commit_start, dir);
+      return rebuild_store(*suffix_commit, replay,
+                           suffix_commit_end < size);
+    } catch (const PersistError&) {
+      // The newer epoch's referenced records did not all survive the
+      // crash, so it was never durably sealed — it is a torn tail, and
+      // the manifest's epoch below remains the recovery point.
+    }
+  }
+  const Replay replay =
+      replay_directory(in, sealed_commit, manifest.commit_offset, dir);
+  return rebuild_store(sealed_commit, replay, manifest.sealed_bytes < size);
+}
+
+/// Manifest-less restore (a crash can hit before the very first seal's
+/// rename): scan the whole journal, keep the consistent prefix, and
+/// replay every RunData record before the last commit, latest record
+/// per (array, version, rank, run index) slot winning. Only each slot's
+/// winner is decoded, hashed, and copied.
+RestoredStore scan_restore(const std::string& dir) {
+  ScanResult scan = scan_journal(JournalWriter::journal_path(dir));
+  std::size_t last_commit = scan.records.size();
+  for (std::size_t i = scan.records.size(); i-- > 0;) {
+    if (scan.records[i].type == RecordType::kCommit) {
+      last_commit = i;
+      break;
+    }
+  }
+  if (last_commit == scan.records.size()) {
+    RestoredStore out;
+    out.torn_tail = scan.torn_tail || !scan.records.empty();
+    return out;
+  }
+  const CommitBody commit =
+      decode_commit(scan.reader(scan.records[last_commit]));
+  const bool torn_tail =
+      scan.torn_tail ||
+      scan.records[last_commit].end_offset < scan.consistent_bytes;
+
+  constexpr std::uint32_t kNoWinner = 0xffff'ffffu;
+  std::map<std::pair<int, int>, std::vector<std::vector<std::uint32_t>>>
+      winners;
+  for (std::size_t i = 0; i < last_commit; ++i) {
+    const Record& record = scan.records[i];
+    if (record.type != RecordType::kRunData) continue;
+    ByteReader r = scan.reader(record);
+    const int array = static_cast<int>(r.u32());
+    const int version = static_cast<int>(r.u32());
+    const auto rank = static_cast<std::size_t>(r.u32());
+    const std::uint32_t run_index = r.u32();
+    auto& ranks = winners[{array, version}];
+    if (ranks.size() <= rank) ranks.resize(rank + 1);
+    auto& slots = ranks[rank];
+    if (slots.size() <= run_index) slots.resize(run_index + 1, kNoWinner);
+    slots[run_index] = static_cast<std::uint32_t>(i);
+  }
+
+  Replay replay;
+  replay.buffers.push_back(std::move(scan.bytes));
+  const auto& bytes = replay.buffers.back();
+  for (const auto& [key, ranks] : winners) {
+    auto& dest = replay.runs[key];
+    for (std::size_t rank = 0; rank < ranks.size(); ++rank) {
+      const auto& slots = ranks[rank];
+      if (slots.empty()) continue;  // run-less ranks journal nothing
+      std::vector<RunRef> winning;
+      winning.reserve(slots.size());
+      for (const std::uint32_t rec : slots) {
+        if (rec == kNoWinner)
+          throw PersistError("persist: sealed run sequence has a gap");
+        const Record& record = scan.records[rec];
+        winning.push_back(
+            decode_run(bytes.data() + record.payload_offset,
+                       static_cast<std::size_t>(record.payload_len)));
+      }
+      dest.emplace_back(rank, std::move(winning));
+    }
+  }
+  return rebuild_store(commit, replay, torn_tail);
+}
+
+}  // namespace
+
+RestoredStore restore(const std::string& dir) {
+  const auto start = Clock::now();
+  const auto manifest = read_manifest(dir);
+  RestoredStore out = manifest ? fast_restore(dir, *manifest)
+                               : scan_restore(dir);
+  out.restore_ms = ms_since(start);
+  return out;
+}
+
+std::vector<SealedEpoch> sealed_epochs(const std::string& dir) {
+  const ScanResult scan = scan_journal(JournalWriter::journal_path(dir));
+  std::vector<SealedEpoch> out;
+  for (const Record& record : scan.records) {
+    if (record.type != RecordType::kCommit) continue;
+    const CommitBody commit = decode_commit(scan.reader(record));
+    SealedEpoch epoch;
+    epoch.epoch = commit.epoch;
+    epoch.end_offset = record.end_offset;
+    for (const auto& [array, root] : commit.roots) epoch.roots[array] = root;
+    out.push_back(std::move(epoch));
+  }
+  return out;
+}
+
+}  // namespace hpfc::persist

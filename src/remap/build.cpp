@@ -477,9 +477,20 @@ class Builder {
       changed = false;
       for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
         const CfgNode& node = cfg_->node(*it);
+        // Seed the fold with the first successor's map: ir::merge treats
+        // absent arrays as none()-on-that-path, so an empty accumulator
+        // would wrongly mark every use as passing for single-successor
+        // nodes.
         ir::EffectMap after;
-        for (const int s : node.succs)
-          after = ir::merge(after, effects_from_[static_cast<std::size_t>(s)]);
+        bool first_succ = true;
+        for (const int s : node.succs) {
+          if (first_succ) {
+            after = effects_from_[static_cast<std::size_t>(s)];
+            first_succ = false;
+          } else {
+            after = ir::merge(after, effects_from_[static_cast<std::size_t>(s)]);
+          }
+        }
         ir::EffectMap from = ir::then(
             result.effects_of[static_cast<std::size_t>(node.id)], after);
         for (const ArrayId a : remapped_[static_cast<std::size_t>(node.id)])

@@ -46,6 +46,11 @@ struct ArrayLabel {
   /// Set by the useless-remapping optimization (Appendix C): the copy
   /// update at this vertex is skipped entirely.
   bool removed = false;
+  /// The value arriving at this vertex is read at or after it before being
+  /// fully redefined on some path, so the leaving copy's data transfer
+  /// cannot be skipped. Defaults to true (always transfer); refined by the
+  /// optimizer's backward value-liveness fixpoint at O1/O2.
+  bool value_needed = true;
   /// M_A(v): versions that may still be used later (Appendix D); filled by
   /// the live-copy optimization. Before that pass it is empty, meaning
   /// "keep only the leaving copy".

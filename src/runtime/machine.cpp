@@ -10,6 +10,7 @@
 
 #include "exec/backend.hpp"
 #include "mapping/symbolic.hpp"
+#include "persist/snapshot.hpp"
 #include "redist/commsets.hpp"
 #include "redist/fused.hpp"
 #include "redist/kernelgen.hpp"
@@ -42,6 +43,11 @@ constexpr double stamped(std::uint64_t counter, std::int64_t linear) {
 struct VersionStorage {
   bool allocated = false;
   bool live = false;
+  /// May have been written since the last snapshot: the snapshot writer
+  /// re-hashes dirty versions' owned runs (and only those) to find the
+  /// changed leaves. Conservative — a no-op write leaves clean leaves
+  /// and costs a re-hash, never a journal record.
+  bool dirty = false;
   std::vector<std::vector<double>> locals;  ///< per layout rank
   std::uint64_t bytes = 0;
 };
@@ -182,6 +188,9 @@ class Machine {
     partials_.assign(static_cast<std::size_t>(backend_->ranks()), 0);
     copy_tallies_.assign(static_cast<std::size_t>(backend_->ranks()),
                          CopyTally{});
+    if (parallel() && !options_.snapshot_dir.empty())
+      snapshot_writer_ =
+          std::make_unique<persist::SnapshotWriter>(options_.snapshot_dir);
     if (parallel()) {
       // Dummy arguments arrive allocated by the caller with the imported
       // values (zeros initially, like the canonical array).
@@ -193,6 +202,12 @@ class Machine {
   RunReport run() {
     const auto start = std::chrono::steady_clock::now();
     run_program();
+    if (snapshot_writer_ != nullptr) {
+      const persist::SnapshotStats& snap = snapshot_writer_->stats();
+      report_.snapshot_bytes = snap.bytes;
+      report_.snapshot_runs_written = snap.runs_written;
+      report_.snapshot_ms = snap.ms;
+    }
     report_.net = backend_->stats();
     report_.ranks = backend_->ranks();
     report_.backend = backend_->name();
@@ -221,6 +236,10 @@ class Machine {
         // The node's guard code is done: run its vertex's fused
         // communication round before the node semantics read anything.
         flush_pending();
+        // The store is quiescent between the vertex's communication and
+        // the node semantics: a crash-consistent snapshot boundary.
+        if (!code_->at_node[static_cast<std::size_t>(node)].empty())
+          maybe_snapshot();
       }
 
       bool done = false;
@@ -229,6 +248,9 @@ class Machine {
         case CfgKind::Exit: {
           if (parallel()) {
             check_exported(n);
+            // Seal the final store before the exit cleanup frees it, so
+            // the last sealed epoch always captures the program's result.
+            take_snapshot();
             for (const auto& op : code_->at_exit) execute(op);
           }
           done = true;
@@ -241,6 +263,9 @@ class Machine {
             else if (const auto* live =
                          std::get_if<ir::LiveRegionStmt>(&n.stmt->node))
               execute_live_region(*live);
+            else if (const auto* kill =
+                         std::get_if<ir::KillStmt>(&n.stmt->node))
+              execute_kill(*kill);
           }
           break;
         case CfgKind::Branch: {
@@ -307,6 +332,8 @@ class Machine {
         for (const auto& op : code_->at_node[static_cast<std::size_t>(node)])
           execute(op);
         flush_pending();
+        if (!code_->at_node[static_cast<std::size_t>(node)].empty())
+          maybe_snapshot();
       }
       if (done) break;
       HPFC_ASSERT_MSG(next >= 0, "control fell off the CFG");
@@ -352,6 +379,7 @@ class Machine {
           static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]), 0.0);
     });
     vs.allocated = true;
+    vs.dirty = true;
     ++report_.allocations;
     bytes_in_use_ += vs.bytes;
     if (options_.memory_limit != 0 && bytes_in_use_ > options_.memory_limit)
@@ -611,6 +639,30 @@ class Machine {
           if (j_hi < run.len) std::fill_n(vals + j_hi, run.len - j_hi, 0.0);
         }
       });
+      vs.dirty = true;
+    }
+  }
+
+  /// §4.3 kill semantics: the whole array is dead and reads as zero from
+  /// here on — the full-array case of execute_live_region. The dead value
+  /// must be deterministic: O0 still moves killed data at the next remap
+  /// while O1/O2 skip the transfer (fresh allocations are zero-filled), so
+  /// a program that reads an array after killing it only stays
+  /// oracle-identical across levels if every dead element reads as zero.
+  void execute_kill(const ir::KillStmt& kill) {
+    if (!program_.array(kill.array).has_mapping) return;
+    auto& canonical = canonical_[static_cast<std::size_t>(kill.array)];
+    std::fill(canonical.begin(), canonical.end(), 0.0);
+    if (!parallel()) return;
+    auto& versions = storage_[static_cast<std::size_t>(kill.array)];
+    for (auto& vs : versions) {
+      if (!vs.allocated) continue;
+      backend_->step([&](int r) {
+        if (r >= static_cast<int>(vs.locals.size())) return;
+        auto& local = vs.locals[static_cast<std::size_t>(r)];
+        std::fill(local.begin(), local.end(), 0.0);
+      });
+      vs.dirty = true;
     }
   }
 
@@ -782,6 +834,7 @@ class Machine {
             redist::unpack(tp, msg.payload,
                            to.locals[static_cast<std::size_t>(tp.dst)]);
         });
+    to.dirty = true;
     ++report_.copies_performed;
   }
 
@@ -1072,8 +1125,52 @@ class Machine {
                              to->locals[static_cast<std::size_t>(r)]);
           }
         });
+    for (const auto& [from, to] : slot.endpoints) to->dirty = true;
     report_.copies_performed += static_cast<int>(slot.members.size());
     if (slot.members.size() >= 2) backend_->account_fused(slot.members.size());
+  }
+
+  // ---- crash-consistent snapshots ---------------------------------------
+
+  /// Counts one remap boundary and snapshots on the configured cadence.
+  void maybe_snapshot() {
+    if (snapshot_writer_ == nullptr) return;
+    ++boundary_counter_;
+    if (boundary_counter_ % std::max(1, options_.snapshot_every) != 0) return;
+    take_snapshot();
+  }
+
+  /// Appends one delta epoch for the current store and seals it. The
+  /// view borrows the live storage: every (array, version) slot with its
+  /// flags, dirty hint, per-rank locals, and owned-run geometry.
+  void take_snapshot() {
+    if (snapshot_writer_ == nullptr) return;
+    persist::StoreView view;
+    view.status = &status_;
+    view.saved = &saved_;
+    view.write_counter = write_counter_;
+    for (const ArrayId a : program_.mapped_arrays()) {
+      auto& versions = storage_[static_cast<std::size_t>(a)];
+      for (std::size_t v = 0; v < versions.size(); ++v) {
+        VersionStorage& vs = versions[v];
+        persist::VersionView vv;
+        vv.array = a;
+        vv.version = static_cast<int>(v);
+        vv.allocated = vs.allocated;
+        vv.live = vs.live;
+        vv.dirty = vs.dirty;
+        if (vs.allocated) {
+          vv.locals = &vs.locals;
+          const OwnershipProgram& own = ownership(a, static_cast<int>(v));
+          vv.runs.reserve(own.per_rank.size());
+          for (const RankOwnership& ro : own.per_rank)
+            vv.runs.push_back(&ro.runs);
+        }
+        view.versions.push_back(std::move(vv));
+        vs.dirty = false;
+      }
+    }
+    snapshot_writer_->snapshot(view);
   }
 
   /// Lazily compiles and caches the ownership program of (array, version):
@@ -1197,6 +1294,7 @@ class Machine {
           vals[j] = stamped(counter, global);
       }
     });
+    vs.dirty = true;
   }
 
   /// The contiguous slice of [0, n) that rank r stamps when shared
@@ -1329,6 +1427,10 @@ class Machine {
   /// hot supersteps allocate nothing.
   std::vector<std::uint64_t> partials_;
   std::vector<CopyTally> copy_tallies_;
+  /// Crash-consistent snapshotting (nullptr unless
+  /// RunOptions::snapshot_dir is set on a parallel run).
+  std::unique_ptr<persist::SnapshotWriter> snapshot_writer_;
+  int boundary_counter_ = 0;
 };
 
 }  // namespace

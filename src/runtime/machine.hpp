@@ -101,6 +101,15 @@ struct RunOptions {
   /// milliseconds. Bounds how long a dead or wedged worker can stall an
   /// exchange before the run fails with a diagnostic instead of hanging.
   int proc_timeout_ms = 10000;
+  /// Directory for crash-consistent snapshots of the versioned array
+  /// store (persist::SnapshotWriter). Empty = snapshots disabled. The
+  /// run starts a fresh journal, truncating the directory's previous
+  /// one. The oracle never snapshots.
+  std::string snapshot_dir;
+  /// Snapshot every Nth remap boundary (a CFG node whose guard code
+  /// ran). The final store is always sealed at exit regardless.
+  /// Ignored without snapshot_dir.
+  int snapshot_every = 1;
 
   /// Sets a boolean toggle by registry name ("force-message-path" /
   /// "force_message_path" — both spellings resolve; see
@@ -168,6 +177,18 @@ struct RunReport {
   std::uint64_t wire_bytes = 0;
   std::uint64_t wire_msgs = 0;
   std::uint64_t proc_spawns = 0;
+
+  // Crash-consistent snapshot work (persist::SnapshotWriter; all zero
+  // unless RunOptions::snapshot_dir is set). Bytes and runs count the
+  // journal deltas and are byte-identical across execution backends —
+  // snapshot boundaries are program-structural and the store contents
+  // are deterministic — while snapshot_ms is host wall-clock. The
+  // runtime never restores mid-run: restore_ms is filled by embedders
+  // (benches, tools) that time persist::restore against this run.
+  std::uint64_t snapshot_bytes = 0;
+  std::uint64_t snapshot_runs_written = 0;
+  double snapshot_ms = 0.0;
+  double restore_ms = 0.0;
 
   [[nodiscard]] std::string summary() const;
 };

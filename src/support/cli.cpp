@@ -84,6 +84,22 @@ Parsed RunFlags::consume(std::string_view arg) {
     }
     return Parsed::Consumed;
   }
+  if (value_flag(arg, "--snapshot-dir=", value)) {
+    if (value.empty()) {
+      error = "--snapshot-dir= needs a directory";
+      return Parsed::Error;
+    }
+    options.snapshot_dir = std::string(value);
+    return Parsed::Consumed;
+  }
+  if (value_flag(arg, "--snapshot-every=", value)) {
+    if (!parse_int(value, options.snapshot_every) ||
+        options.snapshot_every <= 0) {
+      error = "bad --snapshot-every value '" + std::string(value) + "'";
+      return Parsed::Error;
+    }
+    return Parsed::Consumed;
+  }
   return Parsed::Unrecognized;
 }
 
@@ -94,7 +110,9 @@ std::string usage() {
         "(0 = auto)\n"
      << "  --ranks=N            machine size (0 = largest arrangement)\n"
      << "  --seed=N             branch-decision seed\n"
-     << "  --proc-timeout-ms=N  socket deadline for --backend=proc\n";
+     << "  --proc-timeout-ms=N  socket deadline for --backend=proc\n"
+     << "  --snapshot-dir=DIR   crash-consistent store snapshots into DIR\n"
+     << "  --snapshot-every=N   snapshot every Nth remap boundary\n";
   for (const auto& toggle : runtime::toggles())
     os << "  --" << toggle.name << "\n                       " << toggle.help
        << "\n";
@@ -108,6 +126,10 @@ std::string toggle_table() {
        << "\n";
   os << "--proc-timeout-ms=\tproc_timeout_ms\t"
      << "proc backend: socket operation deadline in milliseconds\n";
+  os << "--snapshot-dir=\tsnapshot_dir\t"
+     << "crash-consistent store snapshots into this directory\n";
+  os << "--snapshot-every=\tsnapshot_every\t"
+     << "snapshot every Nth remap boundary (default 1)\n";
   return os.str();
 }
 

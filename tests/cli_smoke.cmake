@@ -77,8 +77,10 @@ endif()
 if(NOT report MATCHES "\"exec_ms\": [0-9]")
   message(FATAL_ERROR "cli_smoke: report JSON missing exec_ms:\n${report}")
 endif()
-# The per-phase wall-clock split of exec_ms (pack / exchange / unpack).
-foreach(timer pack_ms exchange_ms unpack_ms)
+# The per-phase wall-clock split of exec_ms (pack / exchange / unpack)
+# and the snapshot clocks (0 here — snapshots are off without
+# --snapshot-dir, but the keys must exist).
+foreach(timer pack_ms exchange_ms unpack_ms snapshot_ms restore_ms)
   if(NOT report MATCHES "\"${timer}\": [0-9]")
     message(FATAL_ERROR "cli_smoke: report JSON missing ${timer}:\n${report}")
   endif()
@@ -93,7 +95,8 @@ foreach(field copies_performed elements_copied messages bytes segments
         plan_cache_hits plan_cache_misses symbolic_instantiations
         plan_evictions packed_bytes local_fastpath_copies
         skipped_already_mapped skipped_live_copy
-        wire_bytes wire_msgs proc_spawns)
+        wire_bytes wire_msgs proc_spawns
+        snapshot_bytes snapshot_runs_written)
   if(NOT report MATCHES "\"${field}\": [0-9]+")
     message(FATAL_ERROR "cli_smoke: report JSON missing ${field}:\n${report}")
   endif()
@@ -237,7 +240,8 @@ if(NOT toggles_status EQUAL 0)
     "${toggles_status}\nstderr:\n${toggles_err}")
 endif()
 foreach(flag force-message-path unfuse-copy-groups interpret-kernels
-        concrete-plans no-pipeline paranoid proc-tcp proc-timeout-ms=)
+        concrete-plans no-pipeline paranoid proc-tcp proc-timeout-ms=
+        snapshot-dir= snapshot-every=)
   if(NOT toggles_out MATCHES "--${flag}\t")
     message(FATAL_ERROR
       "cli_smoke: --list-toggles is missing --${flag}:\n${toggles_out}")
@@ -326,7 +330,64 @@ foreach(field copies_performed elements_copied messages bytes local_copies
   endif()
 endforeach()
 
+# --snapshot-dir: the run seals crash-consistent snapshots, the report's
+# snapshot counters come alive, and the CLI's own post-run restore fills
+# restore_ms. A thread-backend rerun must journal byte-identical
+# snapshot work (the counters are program-structural).
+set(snap_dir "${_bin_dir}/cli_smoke_snapshots")
+file(REMOVE_RECURSE "${snap_dir}")
+set(snap_report_json "${_bin_dir}/cli_smoke_report_snap.json")
+file(REMOVE "${snap_report_json}")
+execute_process(
+  COMMAND "${HPFC_BIN}" "${HPFC_SOURCE_DIR}/examples/quickstart.hpf"
+          --run --snapshot-dir=${snap_dir}
+          --report-json=${snap_report_json}
+  OUTPUT_VARIABLE snap_out
+  ERROR_VARIABLE snap_err
+  RESULT_VARIABLE snap_status)
+if(NOT snap_status EQUAL 0)
+  message(FATAL_ERROR "cli_smoke: hpfc --snapshot-dir exited with "
+    "${snap_status}\nstdout:\n${snap_out}\nstderr:\n${snap_err}")
+endif()
+if(NOT EXISTS "${snap_dir}/journal" OR NOT EXISTS "${snap_dir}/manifest")
+  message(FATAL_ERROR
+    "cli_smoke: --snapshot-dir left no sealed journal/manifest in ${snap_dir}")
+endif()
+file(READ "${snap_report_json}" snap_report)
+foreach(field snapshot_bytes snapshot_runs_written)
+  if(snap_report MATCHES "\"${field}\": 0[,}]")
+    message(FATAL_ERROR
+      "cli_smoke: snapshot run recorded ${field} = 0:\n${snap_report}")
+  endif()
+endforeach()
+set(snap_thread_dir "${_bin_dir}/cli_smoke_snapshots_thread")
+file(REMOVE_RECURSE "${snap_thread_dir}")
+set(snap_thread_json "${_bin_dir}/cli_smoke_report_snap_thread.json")
+file(REMOVE "${snap_thread_json}")
+execute_process(
+  COMMAND "${HPFC_BIN}" "${HPFC_SOURCE_DIR}/examples/quickstart.hpf"
+          --run --backend=thread --snapshot-dir=${snap_thread_dir}
+          --report-json=${snap_thread_json}
+  OUTPUT_VARIABLE snap_thread_out
+  ERROR_VARIABLE snap_thread_err
+  RESULT_VARIABLE snap_thread_status)
+if(NOT snap_thread_status EQUAL 0)
+  message(FATAL_ERROR "cli_smoke: thread snapshot run exited with "
+    "${snap_thread_status}\nstderr:\n${snap_thread_err}")
+endif()
+file(READ "${snap_thread_json}" snap_thread_report)
+foreach(field snapshot_bytes snapshot_runs_written)
+  string(REGEX MATCHALL "\"${field}\": [0-9]+" seq_counts "${snap_report}")
+  string(REGEX MATCHALL "\"${field}\": [0-9]+" thread_counts
+         "${snap_thread_report}")
+  if(NOT seq_counts STREQUAL thread_counts)
+    message(FATAL_ERROR
+      "cli_smoke: ${field} differs between snapshot backends\n"
+      "seq:    ${seq_counts}\nthread: ${thread_counts}")
+  endif()
+endforeach()
+
 message(STATUS
   "cli_smoke: OK (O0 copied ${o0_elems} elems, O2 copied ${o2_elems}, "
   "seq/thread/proc backends and the kernel and plan toggles agree, "
-  "report at ${report_json})")
+  "snapshots seal and restore, report at ${report_json})")

@@ -5,7 +5,10 @@
 // must survive paranoid checking.
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "driver/compiler.hpp"
+#include "hpf/builder.hpp"
 #include "opt/passes.hpp"
 #include "testing/program_gen.hpp"
 
@@ -15,6 +18,9 @@ namespace {
 using driver::Compiled;
 using driver::CompileOptions;
 using driver::OptLevel;
+using hpf::ProgramBuilder;
+using mapping::DistFormat;
+using mapping::Shape;
 
 ir::Program clone_via_generator(unsigned seed, const testing::GenConfig& base) {
   testing::GenConfig config = base;
@@ -80,6 +86,143 @@ TEST_P(RandomPrograms, AllLevelsMatchTheOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
                          ::testing::Range(1u, 41u, 1u));
+
+// Generator seeds that historically diverged at O1/O2 (see the minimized
+// LivenessRegression cases below for the root causes).
+INSTANTIATE_TEST_SUITE_P(RegressionSeeds, RandomPrograms,
+                         ::testing::Values(305u, 306u));
+
+// ---- minimized liveness regressions -----------------------------------
+
+/// Compiles the builder's program at every level and checks the parallel
+/// signature against the sequential oracle.
+void expect_all_levels_match(
+    const std::function<void(ProgramBuilder&)>& build, unsigned run_seed) {
+  for (const OptLevel level : {OptLevel::O0, OptLevel::O1, OptLevel::O2}) {
+    ProgramBuilder b("regression");
+    build(b);
+    DiagnosticEngine diags;
+    ir::Program program = b.finish(diags);
+    ASSERT_FALSE(diags.has_errors()) << diags.to_string();
+
+    CompileOptions options;
+    options.level = level;
+    options.validate_theorem1 = true;
+    Compiled compiled = driver::compile(std::move(program), options, diags);
+    ASSERT_TRUE(compiled.ok) << driver::to_string(level) << "\n"
+                             << diags.to_string();
+    EXPECT_TRUE(compiled.opt_report.theorem1_holds);
+
+    runtime::RunOptions run_options;
+    run_options.seed = run_seed;
+    run_options.paranoid = true;
+    const auto oracle = driver::run_oracle(compiled, run_options);
+    const auto parallel = driver::run(compiled, run_options);
+    EXPECT_EQ(parallel.signature, oracle.signature)
+        << "level " << driver::to_string(level) << " diverged";
+    EXPECT_TRUE(parallel.exported_values_ok);
+  }
+}
+
+// Seed-305 class: the entry label's use is N (no reference before the
+// first remapping), but the value it materializes is still live — a later
+// copy sources from it. Phase 1 of Appendix C must not remove an *origin*
+// label (empty reaching set) whose value is needed downstream; doing so
+// orphans every consumer and the initial values are lost.
+TEST(LivenessRegression, OriginLabelSurvivesRedistributeThenRead) {
+  expect_all_levels_match(
+      [](ProgramBuilder& b) {
+        b.procs("P", Shape{4});
+        b.array("B", Shape{16});
+        b.distribute_array("B", {DistFormat::block()}, "P");
+        // No reference before the redistribute: entry label is N.
+        b.redistribute("B", {DistFormat::cyclic()}, "", "1");
+        b.use({"B"}, "s1");
+      },
+      1305);
+}
+
+// The shape seed 305 actually hit: the first consumer is an argument
+// remapping around a call (use W via the InOut intent), not a plain read.
+TEST(LivenessRegression, OriginLabelSurvivesCallSiteCopy) {
+  expect_all_levels_match(
+      [](ProgramBuilder& b) {
+        b.procs("P", Shape{4});
+        b.array("B", Shape{16});
+        b.distribute_array("B", {DistFormat::block()}, "P");
+        b.interface("foo");
+        b.interface_dummy("X", Shape{16}, ir::Intent::InOut,
+                          {DistFormat::cyclic()}, "P");
+        b.call("foo", {"B"}, "c1");
+        b.use({"B"}, "s1");
+      },
+      1306);
+}
+
+// Seed-306 class: an {N, D} branch merge. The else path fully defines B
+// (use D), the then path carries the incoming value untouched into the
+// call's argument remapping. The merged label must keep the pass-through
+// bit: a plain two-letter merge yields a screening D, the redistribute
+// skips its transfer, and the then path's call reads zeros instead of the
+// initial values.
+TEST(LivenessRegression, BranchMergedFullDefDoesNotScreen) {
+  expect_all_levels_match(
+      [](ProgramBuilder& b) {
+        b.procs("P", Shape{4});
+        b.array("B", Shape{16});
+        b.distribute_array("B", {DistFormat::block()}, "P");
+        b.interface("foo");
+        b.interface_dummy("X", Shape{16}, ir::Intent::In,
+                          {DistFormat::cyclic(2)}, "P");
+        b.use({"B"}, "s0");
+        b.redistribute("B", {DistFormat::cyclic()}, "", "1");
+        b.begin_if();
+        b.call("foo", {"B"}, "c1");  // reads B via the argument copy
+        b.begin_else();
+        b.full_def({"B"}, "s1");
+        b.end_if();
+        b.use({"B"}, "s2");
+      },
+      1307);
+}
+
+// Same class with an empty then branch: the value passes straight through
+// to a later remapping whose copy must still transfer it.
+TEST(LivenessRegression, EmptyBranchStillPassesValueThrough) {
+  expect_all_levels_match(
+      [](ProgramBuilder& b) {
+        b.procs("P", Shape{4});
+        b.array("B", Shape{16});
+        b.distribute_array("B", {DistFormat::block()}, "P");
+        b.use({"B"}, "s0");
+        b.redistribute("B", {DistFormat::cyclic()}, "", "1");
+        b.begin_if();
+        b.begin_else();
+        b.full_def({"B"}, "s1");
+        b.end_if();
+        b.redistribute("B", {DistFormat::block()}, "", "2");
+        b.use({"B"}, "s2");
+      },
+      1308);
+}
+
+// Read-after-kill is deterministic: §4.3 kill means "dead, reads as zero"
+// in the oracle and at every level. Without a defined dead value O0 (which
+// still moves killed data) and O1/O2 (which skip the transfer) would
+// legitimately disagree on a program that reads after a kill.
+TEST(LivenessRegression, ReadAfterKillIsZeroAtEveryLevel) {
+  expect_all_levels_match(
+      [](ProgramBuilder& b) {
+        b.procs("P", Shape{4});
+        b.array("B", Shape{16});
+        b.distribute_array("B", {DistFormat::block()}, "P");
+        b.use({"B"}, "s0");
+        b.kill("B", "k1");
+        b.redistribute("B", {DistFormat::cyclic()}, "", "1");
+        b.use({"B"}, "s1");
+      },
+      1309);
+}
 
 TEST(RandomPrograms, AcceptanceRateIsReasonable) {
   int accepted = 0;

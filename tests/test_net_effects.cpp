@@ -83,17 +83,32 @@ TEST(UseLattice, MergeIsComponentwiseOr) {
   // linear order which would say R.)
   EXPECT_EQ(Use::full_def().merge(Use::read()), Use::write());
   EXPECT_EQ(Use::write().merge(Use::none()), Use::write());
+  // D merged with N keeps the pass-through bit: one path redefines, the
+  // other carries the incoming value to later consumers, so the merged
+  // label must not license the dead-transfer skip.
+  const Use mixed = Use::full_def().merge(Use::none());
+  EXPECT_FALSE(mixed.may_read);
+  EXPECT_TRUE(mixed.may_write);
+  EXPECT_TRUE(mixed.passes);
+  EXPECT_FALSE(Use::full_def().passes);
 }
 
 TEST(UseLattice, SequentialComposition) {
   // Full redefinition screens later uses: they see new values.
   EXPECT_EQ(Use::full_def().then(Use::read()), Use::full_def());
   EXPECT_EQ(Use::full_def().then(Use::write()), Use::full_def());
-  // A read followed by a full redefinition still needs the values.
-  EXPECT_EQ(Use::read().then(Use::full_def()), Use::write());
+  // A read followed by a full redefinition still needs the values, but
+  // the incoming value does not survive past the redefinition.
+  EXPECT_EQ(Use::read().then(Use::full_def()), (Use{true, true, false}));
   EXPECT_EQ(Use::none().then(Use::read()), Use::read());
   EXPECT_EQ(Use::read().then(Use::none()), Use::read());
   EXPECT_EQ(Use::write().then(Use::none()), Use::write());
+  // A merged D that still passes on some path does NOT screen: a later
+  // read sees the incoming value along the passing path.
+  const Use mixed = Use::full_def().merge(Use::none());
+  const Use composed = mixed.then(Use::read());
+  EXPECT_TRUE(composed.may_read);
+  EXPECT_TRUE(composed.passes);
 }
 
 TEST(UseLattice, MergeMaps) {
@@ -102,6 +117,11 @@ TEST(UseLattice, MergeMaps) {
   const auto m = ir::merge(a, b);
   EXPECT_EQ(m.at(0), Use::write());
   EXPECT_EQ(m.at(1), Use::read());
+  // Array 1 is absent from map `a`: its use is none() on that path, so
+  // the merged result must keep the pass-through bit even for a D.
+  ir::EffectMap only_b{{2, Use::full_def()}};
+  const auto m2 = ir::merge(a, only_b);
+  EXPECT_TRUE(m2.at(2).passes);
 }
 
 TEST(UseLattice, ThenMaps) {

@@ -237,7 +237,8 @@ TEST(Cli, RunFlagsReportsErrors) {
 TEST(Cli, ToggleTableIsMachineParsable) {
   // tools/run_benches validates passthrough flags against this table:
   // one "--flag\tkey\thelp" line per entry, registry toggles first, and
-  // the value-taking proc-timeout knob spelled with a trailing '='.
+  // the value-taking knobs (proc-timeout, snapshot dir/cadence) spelled
+  // with a trailing '='.
   const std::string table = support::cli::toggle_table();
   std::size_t lines = 0;
   for (const std::string& line : split(table, '\n')) {
@@ -249,8 +250,10 @@ TEST(Cli, ToggleTableIsMachineParsable) {
     EXPECT_FALSE(columns[1].empty()) << line;
     EXPECT_FALSE(columns[2].empty()) << line;
   }
-  EXPECT_EQ(lines, runtime::toggles().size() + 1);
+  EXPECT_EQ(lines, runtime::toggles().size() + 3);
   EXPECT_NE(table.find("--proc-timeout-ms=\t"), std::string::npos);
+  EXPECT_NE(table.find("--snapshot-dir=\t"), std::string::npos);
+  EXPECT_NE(table.find("--snapshot-every=\t"), std::string::npos);
   EXPECT_NE(table.find("--force-message-path\tforce_message_path\t"),
             std::string::npos);
 }

@@ -17,11 +17,13 @@
 //                       record the constants in the report JSON
 //
 // The machine flags (--backend/--threads/--ranks/--seed/
-// --proc-timeout-ms) and every A/B toggle (--force-message-path,
-// --unfuse-copy-groups, --interpret-kernels, --concrete-plans,
-// --no-pipeline, --paranoid, --proc-tcp) come from the shared
-// support::cli surface —
-// see `hpfc --list-toggles` and src/runtime/toggles.hpp.
+// --proc-timeout-ms/--snapshot-dir/--snapshot-every) and every A/B
+// toggle (--force-message-path, --unfuse-copy-groups,
+// --interpret-kernels, --concrete-plans, --no-pipeline, --paranoid,
+// --proc-tcp) come from the shared support::cli surface —
+// see `hpfc --list-toggles` and src/runtime/toggles.hpp. With
+// --snapshot-dir the run seals crash-consistent snapshots and the
+// report's restore_ms times persist::restore() of the final store.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -31,6 +33,7 @@
 #include "driver/compiler.hpp"
 #include "exec/backend.hpp"
 #include "exec/proc_backend.hpp"
+#include "persist/snapshot.hpp"
 #include "support/cli.hpp"
 
 namespace {
@@ -182,6 +185,10 @@ bool write_report_json(const Options& options,
         << ", \"wire_bytes\": " << l.report.wire_bytes
         << ", \"wire_msgs\": " << l.report.wire_msgs
         << ", \"proc_spawns\": " << l.report.proc_spawns
+        << ", \"snapshot_bytes\": " << l.report.snapshot_bytes
+        << ", \"snapshot_runs_written\": " << l.report.snapshot_runs_written
+        << ", \"snapshot_ms\": " << l.report.snapshot_ms
+        << ", \"restore_ms\": " << l.report.restore_ms
         << ", \"exec_ms\": " << l.report.exec_ms
         << ", \"pack_ms\": " << l.report.pack_ms
         << ", \"exchange_ms\": " << l.report.exchange_ms
@@ -228,7 +235,17 @@ int run_level(const std::string& source, const Options& options,
   if (options.run || options.compare) {
     const runtime::RunOptions& run_options = options.flags.options;
     const auto oracle = driver::run_oracle(compiled, run_options);
-    const auto report = driver::run(compiled, run_options);
+    auto report = driver::run(compiled, run_options);
+    if (!run_options.snapshot_dir.empty()) {
+      // Close the crash-consistency loop: rebuild the sealed store and
+      // report the recovery cost next to the run that produced it.
+      const auto restored = persist::restore(run_options.snapshot_dir);
+      if (!restored.valid) {
+        std::cerr << "hpfc: snapshot restore found no sealed epoch\n";
+        return 1;
+      }
+      report.restore_ms = restored.restore_ms;
+    }
     const bool matches = report.signature == oracle.signature &&
                          report.exported_values_ok;
     print_run(driver::to_string(level), report, matches);
